@@ -1,0 +1,145 @@
+"""Section 8 extension: NIC-based reduction and broadcast.
+
+"On a more general level, we intend to investigate whether other
+collective communication operations, such as reductions or all-to-all
+broadcast could benefit from similar NIC-level implementations."
+
+We implemented them (reduce / allreduce / bcast over the GB trees) and
+measure the factor of improvement over host-based baselines -- the same
+comparison the paper makes for barriers.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.cluster.builder import build_cluster
+from repro.cluster.runner import run_on_group
+from repro.core.collectives import allreduce, bcast, reduce
+from repro.core.host_collectives import host_allreduce, host_bcast, host_reduce
+from repro.sim.primitives import Timeout
+
+
+def measure(fn, n, reps=5, warmup=2, dimension=None, sync=False, **kwargs):
+    """Mean steady-state latency of consecutive collectives (us).
+
+    ``sync`` interposes a barrier between repetitions -- required for
+    reduce/bcast, which (unlike allreduce) do not self-synchronize, so an
+    unsynchronized root would race arbitrarily far ahead of its children
+    (standard collective-benchmark methodology).  The barrier time is not
+    counted: latency is measured from the post-barrier enter instant.
+    """
+    from repro.core.barrier import barrier
+
+    cluster = build_cluster(LANAI_4_3_SYSTEM.cluster_config(n))
+    enters, exits = {}, {}
+
+    def program(ctx):
+        for rep in range(warmup + reps):
+            if sync:
+                yield from barrier(ctx.port, ctx.group, ctx.rank)
+            enters.setdefault(rep, []).append(ctx.now)
+            yield from fn(
+                ctx.port, ctx.group, ctx.rank,
+                value=ctx.rank + 1, dimension=dimension, **kwargs,
+            )
+            exits.setdefault(rep, []).append(ctx.now)
+
+    run_on_group(cluster, program, max_events=20_000_000)
+    lats = [
+        max(exits[rep]) - max(enters[rep])
+        for rep in range(warmup, warmup + reps)
+    ]
+    return sum(lats) / len(lats)
+
+
+def best_dim(fn, n, sync=False, **kwargs):
+    return min(measure(fn, n, reps=3, warmup=1, dimension=d, sync=sync, **kwargs)
+               for d in range(1, min(n, 8)))
+
+
+class TestCollectivesExtension:
+    def test_allreduce_comparison(self, benchmark):
+        rows = []
+        factors = {}
+
+        def run():
+            for n in (4, 8, 16):
+                nic = best_dim(allreduce, n, op="sum")
+                host = best_dim(host_allreduce, n, op="sum")
+                factors[n] = host / nic
+                rows.append([n, host, nic, factors[n]])
+            return factors
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "Allreduce (sum, 8-byte values), best tree dim, LANai 4.3 (us)",
+            ["N", "host", "NIC", "factor"],
+            rows,
+        )
+        # NIC offload wins beyond trivial sizes and the win grows with N,
+        # like the barrier (an allreduce IS a GB barrier with data).
+        assert all(f > 1.0 for f in factors.values())
+        assert factors[16] > factors[4]
+
+    def test_bcast_comparison(self, benchmark):
+        rows = []
+        factors = {}
+
+        def run():
+            for n in (4, 8, 16):
+                nic = best_dim(bcast, n, sync=True)
+                host = best_dim(host_bcast, n, sync=True)
+                factors[n] = host / nic
+                rows.append([n, host, nic, factors[n]])
+            return factors
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "Broadcast (8-byte value), best tree dim, LANai 4.3 (us)",
+            ["N", "host", "NIC", "factor"],
+            rows,
+        )
+        # Like the GB barrier at 2 nodes, the NIC-based broadcast *loses*
+        # at small sizes -- the GB-family firmware setup on a 33 MHz
+        # processor outweighs one saved host turnaround -- and wins as the
+        # tree deepens.  Same crossover, same cause.
+        assert factors[4] < factors[8] < factors[16]
+        assert factors[16] > 1.0
+
+    def test_reduce_comparison(self, benchmark):
+        rows = []
+
+        def run():
+            for n in (8, 16):
+                nic = best_dim(reduce, n, sync=True, op="sum")
+                host = best_dim(host_reduce, n, sync=True, op="sum")
+                rows.append([n, host, nic, host / nic])
+            return rows
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "Reduce-to-root (sum), best tree dim, LANai 4.3 (us)",
+            ["N", "host", "NIC", "factor"],
+            rows,
+        )
+        assert all(row[3] > 1.0 for row in rows)
+
+    def test_allreduce_tracks_gb_barrier_plus_combine(self, benchmark):
+        """Structurally an allreduce is the GB barrier carrying values:
+        its latency should sit slightly above NIC-GB at the same
+        dimension."""
+        from repro.analysis.experiments import measure_barrier
+
+        def run():
+            gb = measure_barrier(
+                LANAI_4_3_SYSTEM.cluster_config(8), nic_based=True,
+                algorithm="gb", dimension=2, repetitions=4, warmup=1,
+            ).mean_latency_us
+            ar = measure(allreduce, 8, dimension=2, op="sum")
+            return gb, ar
+
+        gb, ar = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(f"\nNIC-GB barrier (d2, 8 nodes): {gb:.2f} us; "
+              f"NIC allreduce (d2): {ar:.2f} us")
+        assert gb < ar < gb * 1.5

@@ -1,0 +1,104 @@
+"""Section 3.4 ablation: multiple concurrent barriers per NIC.
+
+Measures how running k independent barrier groups over the same NICs (on
+distinct ports) stretches each group's latency through NIC-processor
+contention, and quantifies the same-NIC local-flag optimization the
+paper proposes as future work.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.cluster.builder import build_cluster
+from repro.core.barrier import barrier
+from repro.nic.nic import NicParams
+
+
+def run_k_groups(system, n_nodes, k_groups, local_opt=False, reps=4):
+    """k simultaneous barrier groups (one port per group per node);
+    returns mean per-group barrier latency."""
+    cfg = system.cluster_config(n_nodes)
+    if local_opt:
+        cfg = cfg.with_(nic_params=NicParams(local_barrier_optimization=True))
+    cluster = build_cluster(cfg)
+    port_ids = [2, 4, 5, 6, 7][:k_groups]
+    lat_samples = []
+
+    def prog(port, rank, group):
+        for _ in range(reps):
+            start = cluster.now
+            yield from barrier(port, group, rank)
+            lat_samples.append(cluster.now - start)
+
+    for pid in port_ids:
+        group = tuple((i, pid) for i in range(n_nodes))
+        for i in range(n_nodes):
+            cluster.spawn(prog(cluster.open_port(i, pid), i, group))
+    cluster.run(max_events=30_000_000)
+    return sum(lat_samples) / len(lat_samples)
+
+
+class TestConcurrentBarriers:
+    def test_contention_scaling(self, benchmark):
+        system = LANAI_4_3_SYSTEM
+        rows = []
+        lats = {}
+
+        def run():
+            for k in (1, 2, 3, 4):
+                lats[k] = run_k_groups(system, 8, k)
+                rows.append([k, lats[k], lats[k] / lats[1] if 1 in lats else 1.0])
+            return lats
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "Concurrent barrier groups on shared NICs (8 nodes, PE, us)",
+            ["groups", "mean latency", "slowdown vs 1"],
+            rows,
+        )
+        # Contention grows with group count but stays sub-linear: the
+        # per-port barrier state keeps groups independent, only the NIC
+        # CPU is shared.
+        assert lats[1] < lats[2] < lats[4]
+        assert lats[4] < 4 * lats[1]
+
+    def test_local_optimization_bench(self, benchmark):
+        """Barrier over 2 nodes x 2 ports: half the 'messages' can stay
+        on-NIC with the Section 3.4 optimization."""
+        system = LANAI_4_3_SYSTEM
+
+        def one(local_opt):
+            cfg = system.cluster_config(2)
+            if local_opt:
+                cfg = cfg.with_(
+                    nic_params=NicParams(local_barrier_optimization=True)
+                )
+            cluster = build_cluster(cfg)
+            group = ((0, 2), (0, 4), (1, 2), (1, 4))
+            exits = []
+
+            def prog(port, rank):
+                yield from barrier(port, group, rank)
+                exits.append(cluster.now)
+
+            for rank, (node, pid) in enumerate(group):
+                cluster.spawn(prog(cluster.open_port(node, pid), rank))
+            cluster.run(max_events=5_000_000)
+            wire = sum(
+                cluster.network.tx_channel(i).packets_sent for i in range(2)
+            )
+            return max(exits), wire
+
+        def run():
+            return one(False), one(True)
+
+        (plain, opt) = benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "Same-NIC barrier optimization (2 nodes x 2 ports, PE)",
+            ["variant", "latency (us)", "wire packets"],
+            [["wire messages", plain[0], plain[1]],
+             ["local flags", opt[0], opt[1]]],
+        )
+        assert opt[1] < plain[1]
+        assert opt[0] <= plain[0] * 1.02

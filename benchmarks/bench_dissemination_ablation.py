@@ -1,0 +1,72 @@
+"""Algorithm ablation: pairwise exchange vs dissemination.
+
+The paper evaluates PE (the MPICH pattern) only on power-of-two node
+counts, where it is optimal.  The dissemination barrier
+(Hensgen/Finkel/Manber) needs exactly ceil(log2 N) rounds at *any* N,
+avoiding PE's proxy/notify steps for awkward sizes -- this bench
+quantifies when each wins on the NIC engine.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.analysis.experiments import measure_barrier
+
+
+def latency(n, algorithm, reps=4):
+    return measure_barrier(
+        LANAI_4_3_SYSTEM.cluster_config(n),
+        nic_based=True,
+        algorithm=algorithm,
+        repetitions=reps,
+        warmup=1,
+    ).mean_latency_us
+
+
+class TestDisseminationAblation:
+    def test_sweep(self, benchmark):
+        sizes = (2, 3, 4, 5, 6, 8, 9, 12, 13, 16)
+        rows = []
+        results = {}
+
+        def run():
+            for n in sizes:
+                pe = latency(n, "pe")
+                dis = latency(n, "dissemination")
+                results[n] = (pe, dis)
+                rows.append([n, math.ceil(math.log2(n)), pe, dis, pe / dis])
+            return results
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "NIC barrier: PE vs dissemination, LANai 4.3 (us)",
+            ["N", "ceil(log2 N)", "PE", "dissemination", "PE/dis"],
+            rows,
+        )
+        # Power-of-two sizes: PE is at least as good (fused exchanges,
+        # same round count).
+        for n in (2, 4, 8, 16):
+            pe, dis = results[n]
+            assert pe <= dis * 1.05
+        # Just-above-power-of-two sizes: dissemination wins (no proxy
+        # round on the critical path).
+        for n in (5, 6):
+            pe, dis = results[n]
+            assert dis < pe
+
+    def test_dissemination_latency_tracks_round_count(self, benchmark):
+        """Latency steps up when ceil(log2 N) does, and is flat between."""
+
+        def run():
+            return {n: latency(n, "dissemination", reps=3) for n in (5, 6, 7, 8, 9)}
+
+        lats = benchmark.pedantic(run, rounds=1, iterations=1)
+        # 5..8 all need 3 rounds: near-identical latency.
+        assert max(lats[n] for n in (5, 6, 7, 8)) < min(
+            lats[n] for n in (5, 6, 7, 8)
+        ) * 1.1
+        # 9 needs a 4th round: a visible step.
+        assert lats[9] > lats[8] * 1.15

@@ -1,0 +1,108 @@
+"""Figure 2 / Equations 1-3: the analytic timing model vs the simulator.
+
+The paper derives closed forms for the host-based and NIC-based barrier
+latencies from the per-message timing terms (Send, SDMA, Network, Recv,
+RDMA, HRecv).  We compute those terms from the simulator's own cost
+tables (:func:`repro.analysis.model.derive_model_params`) and check that
+the discrete-event simulation lands near the closed forms -- two
+independent evaluations of the same parameterization.
+"""
+
+import pytest
+
+from benchmarks.conftest import REPS, WARMUP, emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM
+from repro.analysis.experiments import measure_barrier
+from repro.analysis.model import BarrierModel, derive_model_params
+
+
+def _model_for(system):
+    return BarrierModel(
+        derive_model_params(
+            system.lanai_model,
+            system.host_params,
+            system.nic_params,
+            system.net_params,
+        )
+    )
+
+
+class TestFig2ModelValidation:
+    @pytest.mark.parametrize(
+        "system", [LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM], ids=["lanai43", "lanai72"]
+    )
+    def test_model_vs_simulation(self, system, benchmark):
+        model = _model_for(system)
+        rows = []
+        sim_host_by_n, sim_nic_by_n = {}, {}
+
+        def sweep():
+            for n in system.sizes:
+                cfg = system.cluster_config(n)
+                sim_host_by_n[n] = measure_barrier(
+                    cfg, nic_based=False, algorithm="pe",
+                    repetitions=REPS, warmup=WARMUP,
+                ).mean_latency_us
+                sim_nic_by_n[n] = measure_barrier(
+                    cfg, nic_based=True, algorithm="pe",
+                    repetitions=REPS, warmup=WARMUP,
+                ).mean_latency_us
+            return sim_nic_by_n
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+        for n in system.sizes:
+            rows.append(
+                [
+                    n,
+                    model.t_host(n),
+                    sim_host_by_n[n],
+                    model.t_nic(n),
+                    sim_nic_by_n[n],
+                    model.improvement(n),
+                    sim_host_by_n[n] / sim_nic_by_n[n],
+                ]
+            )
+        emit(
+            f"Figure 2 / Eq 1-3 validation -- {system.lanai_model.name}",
+            ["N", "eq1 T_host", "sim T_host", "eq2 T_nic", "sim T_nic",
+             "eq3 factor", "sim factor"],
+            rows,
+        )
+        for n in system.sizes:
+            if n == 1:
+                continue
+            assert model.t_host(n) == pytest.approx(sim_host_by_n[n], rel=0.25)
+            assert model.t_nic(n) == pytest.approx(sim_nic_by_n[n], rel=0.25)
+
+    def test_model_parameter_terms_reported(self, benchmark):
+        """Print the six Figure 2 terms for both NIC generations."""
+        rows = []
+
+        def derive_all():
+            for system in (LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM):
+                p = derive_model_params(
+                    system.lanai_model,
+                    system.host_params,
+                    system.nic_params,
+                    system.net_params,
+                )
+                rows.append(
+                    [
+                        system.lanai_model.name,
+                        p.send, p.sdma, p.network, p.recv, p.rdma, p.hrecv,
+                    ]
+                )
+            return rows
+
+        benchmark.pedantic(derive_all, rounds=1, iterations=1)
+        emit(
+            "Figure 2 timing terms (us)",
+            ["card", "Send", "SDMA", "Network", "Recv", "RDMA", "HRecv"],
+            rows,
+        )
+        # The NIC-resident terms shrink with the faster card; host terms
+        # do not.
+        p43, p72 = rows[0], rows[1]
+        assert p72[4] < p43[4]  # Recv
+        assert p72[6] == p43[6]  # HRecv unchanged

@@ -1,0 +1,77 @@
+"""Figure 5(a): barrier latencies on the LANai 4.3 system.
+
+Paper series: NIC-based and host-based barriers, PE and GB algorithms
+(GB at the best tree dimension per size), N in {2, 4, 8, 16}.
+
+Published anchors: NIC-PE(16) = 102.14 us, NIC-GB(16) = 152.27 us; the
+NIC-based PE barrier beats everything at every size; the NIC-based GB
+barrier beats both host barriers except at two nodes.
+"""
+
+import pytest
+
+from benchmarks.conftest import REPS, WARMUP, emit, latency_rows
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.analysis.experiments import measure_barrier
+
+
+class TestFig5aLatencyLanai43:
+    def test_report_and_shape(self, fig5_lanai43, benchmark):
+        system = LANAI_4_3_SYSTEM
+        sweep = fig5_lanai43
+        # Representative benchmarked unit: one 2-node measurement.
+        benchmark(
+            lambda: measure_barrier(
+                system.cluster_config(2), nic_based=True, algorithm="pe",
+                repetitions=2, warmup=1,
+            )
+        )
+        emit(
+            "Figure 5(a) -- barrier latency (us), LANai 4.3",
+            ["N", "host-PE", "NIC-PE", "host-GB*", "NIC-GB*", "paper NIC-PE"],
+            latency_rows(system, sweep),
+        )
+
+        # Quantitative anchors (simulator calibrated within ~10%).
+        nic_pe_16 = sweep["nic-pe"][16].mean_latency_us
+        assert nic_pe_16 == pytest.approx(102.14, rel=0.10)
+        nic_gb_16 = sweep["nic-gb"][16].mean_latency_us
+        assert nic_gb_16 == pytest.approx(152.27, rel=0.15)
+
+        for n in (2, 4, 8, 16):
+            host_pe = sweep["host-pe"][n].mean_latency_us
+            nic_pe = sweep["nic-pe"][n].mean_latency_us
+            host_gb = sweep["host-gb"][n].mean_latency_us
+            nic_gb = sweep["nic-gb"][n].mean_latency_us
+            # "the NIC-based PE barrier performed better than all other
+            # barriers"
+            assert nic_pe < host_pe
+            assert nic_pe < host_gb
+            assert nic_pe < nic_gb
+            if n == 2:
+                # "The NIC-based GB barrier performed worse for the two
+                # node barrier than the host-based GB barrier"
+                assert nic_gb > host_gb
+            else:
+                assert nic_gb < host_gb
+            # "The host-based PE barrier performed better than the
+            # host-based GB barrier."
+            assert host_pe < host_gb
+
+        # Latencies grow with system size within every series.
+        for variant in ("host-pe", "nic-pe", "host-gb", "nic-gb"):
+            series = [sweep[variant][n].mean_latency_us for n in (2, 4, 8, 16)]
+            assert series == sorted(series)
+
+    def test_benchmark_nic_pe_16(self, benchmark):
+        """Wall-clock cost of regenerating the headline measurement."""
+        cfg = LANAI_4_3_SYSTEM.cluster_config(16)
+
+        def run():
+            return measure_barrier(
+                cfg, nic_based=True, algorithm="pe",
+                repetitions=REPS, warmup=WARMUP,
+            ).mean_latency_us
+
+        result = benchmark(run)
+        assert result == pytest.approx(102.14, rel=0.10)

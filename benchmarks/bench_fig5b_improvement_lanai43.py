@@ -1,0 +1,67 @@
+"""Figure 5(b): factor of improvement of NIC-based over host-based
+barriers, LANai 4.3.
+
+Published anchors: PE(16) = 1.78, GB(16) = 1.46, PE(8) = 1.66; the
+improvement grows with system size (Equation 3's prediction).
+"""
+
+import pytest
+
+from benchmarks.conftest import REPS, WARMUP, emit, factor_rows
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.analysis.experiments import measure_barrier
+
+
+class TestFig5bImprovementLanai43:
+    def test_report_and_shape(self, fig5_lanai43, benchmark):
+        system = LANAI_4_3_SYSTEM
+        sweep = fig5_lanai43
+        benchmark(
+            lambda: measure_barrier(
+                system.cluster_config(2), nic_based=False, algorithm="pe",
+                repetitions=2, warmup=1,
+            )
+        )
+        emit(
+            "Figure 5(b) -- factor of improvement, LANai 4.3",
+            ["N", "PE", "paper PE", "GB", "paper GB"],
+            factor_rows(system, sweep),
+        )
+
+        def factor(alg, n):
+            return (
+                sweep[f"host-{alg}"][n].mean_latency_us
+                / sweep[f"nic-{alg}"][n].mean_latency_us
+            )
+
+        # Anchors.
+        assert factor("pe", 16) == pytest.approx(1.78, rel=0.07)
+        assert factor("pe", 8) == pytest.approx(1.66, rel=0.07)
+        assert factor("gb", 16) == pytest.approx(1.46, rel=0.15)
+
+        # The PE improvement grows monotonically with N.
+        pe_factors = [factor("pe", n) for n in (2, 4, 8, 16)]
+        assert pe_factors == sorted(pe_factors)
+
+        # PE gains more from NIC offload than GB at 16 nodes (1.78 vs 1.46).
+        assert factor("pe", 16) > factor("gb", 16)
+
+        # GB's factor dips below 1 only at two nodes.
+        assert factor("gb", 2) < 1.0 < factor("gb", 4)
+
+    def test_benchmark_factor_pe_16(self, benchmark):
+        cfg = LANAI_4_3_SYSTEM.cluster_config(16)
+
+        def run():
+            host = measure_barrier(
+                cfg, nic_based=False, algorithm="pe",
+                repetitions=REPS, warmup=WARMUP,
+            ).mean_latency_us
+            nic = measure_barrier(
+                cfg, nic_based=True, algorithm="pe",
+                repetitions=REPS, warmup=WARMUP,
+            ).mean_latency_us
+            return host / nic
+
+        factor = benchmark(run)
+        assert factor == pytest.approx(1.78, rel=0.07)

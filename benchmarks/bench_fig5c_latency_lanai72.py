@@ -1,0 +1,64 @@
+"""Figure 5(c): barrier latencies on the LANai 7.2 system (66 MHz NICs,
+8 nodes -- "Because we only have eight of these cards, we show the
+results for up to only eight nodes").
+
+Published anchors: NIC-PE(8) = 49.25 us vs host-PE(8) = 90.24 us; "the
+faster NIC processor improved the performance of all implementations".
+"""
+
+import pytest
+
+from benchmarks.conftest import REPS, WARMUP, emit, latency_rows
+from repro.analysis.calibration import LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM
+from repro.analysis.experiments import measure_barrier
+
+
+class TestFig5cLatencyLanai72:
+    def test_report_and_shape(self, fig5_lanai72, fig5_lanai43, benchmark):
+        system = LANAI_7_2_SYSTEM
+        sweep = fig5_lanai72
+        benchmark(
+            lambda: measure_barrier(
+                system.cluster_config(2), nic_based=True, algorithm="pe",
+                repetitions=2, warmup=1,
+            )
+        )
+        emit(
+            "Figure 5(c) -- barrier latency (us), LANai 7.2",
+            ["N", "host-PE", "NIC-PE", "host-GB*", "NIC-GB*", "paper NIC-PE"],
+            latency_rows(system, sweep),
+        )
+
+        # Anchors.
+        assert sweep["nic-pe"][8].mean_latency_us == pytest.approx(49.25, rel=0.07)
+        assert sweep["host-pe"][8].mean_latency_us == pytest.approx(90.24, rel=0.07)
+
+        # The faster NIC improves *every* implementation vs LANai 4.3.
+        for variant in ("host-pe", "nic-pe", "host-gb", "nic-gb"):
+            for n in (2, 4, 8):
+                assert (
+                    sweep[variant][n].mean_latency_us
+                    < fig5_lanai43[variant][n].mean_latency_us
+                )
+
+        # NIC-PE is the best barrier at every size >= 2... except the
+        # 2-node GB inversion which is specific to GB.
+        for n in (2, 4, 8):
+            nic_pe = sweep["nic-pe"][n].mean_latency_us
+            assert nic_pe <= min(
+                sweep["host-pe"][n].mean_latency_us,
+                sweep["host-gb"][n].mean_latency_us,
+                sweep["nic-gb"][n].mean_latency_us,
+            )
+
+    def test_benchmark_nic_pe_8(self, benchmark):
+        cfg = LANAI_7_2_SYSTEM.cluster_config(8)
+
+        def run():
+            return measure_barrier(
+                cfg, nic_based=True, algorithm="pe",
+                repetitions=REPS, warmup=WARMUP,
+            ).mean_latency_us
+
+        result = benchmark(run)
+        assert result == pytest.approx(49.25, rel=0.07)

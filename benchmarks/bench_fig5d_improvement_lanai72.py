@@ -1,0 +1,63 @@
+"""Figure 5(d): factor of improvement on the LANai 7.2 system.
+
+Published anchor: PE(8) = 1.83 -- "a greater factor of improvement than
+we saw for the LANai 4.3 cards for eight nodes which was 1.66", i.e. a
+faster NIC processor raises the offload payoff.
+"""
+
+import pytest
+
+from benchmarks.conftest import REPS, WARMUP, emit, factor_rows
+from repro.analysis.calibration import LANAI_7_2_SYSTEM
+from repro.analysis.experiments import measure_barrier
+
+
+class TestFig5dImprovementLanai72:
+    def test_report_and_shape(self, fig5_lanai72, fig5_lanai43, benchmark):
+        system = LANAI_7_2_SYSTEM
+        sweep = fig5_lanai72
+        benchmark(
+            lambda: measure_barrier(
+                system.cluster_config(2), nic_based=False, algorithm="pe",
+                repetitions=2, warmup=1,
+            )
+        )
+        emit(
+            "Figure 5(d) -- factor of improvement, LANai 7.2",
+            ["N", "PE", "paper PE", "GB", "paper GB"],
+            factor_rows(system, sweep),
+        )
+
+        def factor(sw, alg, n):
+            return (
+                sw[f"host-{alg}"][n].mean_latency_us
+                / sw[f"nic-{alg}"][n].mean_latency_us
+            )
+
+        # Anchor: PE(8) = 1.83.
+        assert factor(sweep, "pe", 8) == pytest.approx(1.83, rel=0.07)
+
+        # The headline cross-generation comparison: the 66 MHz NIC gives a
+        # larger 8-node PE improvement than the 33 MHz NIC (1.83 vs 1.66).
+        assert factor(sweep, "pe", 8) > factor(fig5_lanai43, "pe", 8)
+
+        # Monotone growth with N on this system too.
+        pe_factors = [factor(sweep, "pe", n) for n in (2, 4, 8)]
+        assert pe_factors == sorted(pe_factors)
+
+    def test_benchmark_factor_pe_8(self, benchmark):
+        cfg = LANAI_7_2_SYSTEM.cluster_config(8)
+
+        def run():
+            host = measure_barrier(
+                cfg, nic_based=False, algorithm="pe",
+                repetitions=REPS, warmup=WARMUP,
+            ).mean_latency_us
+            nic = measure_barrier(
+                cfg, nic_based=True, algorithm="pe",
+                repetitions=REPS, warmup=WARMUP,
+            ).mean_latency_us
+            return host / nic
+
+        factor = benchmark(run)
+        assert factor == pytest.approx(1.83, rel=0.07)

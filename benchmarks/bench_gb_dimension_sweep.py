@@ -1,0 +1,73 @@
+"""Section 6's GB tree-dimension sweep (ablation).
+
+"The performance of the GB algorithm on a given system for a given size
+depends on the dimension of the gather and broadcast tree.  In order to
+find the optimal dimension for the tree, we ran the test for every
+dimension from 1 to N - 1 ... The latencies reported in the graphs are
+the minimum latencies over all dimensions."
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.analysis.experiments import measure_barrier
+
+
+def sweep_dimensions(system, n, nic_based, reps=4, warmup=1):
+    cfg = system.cluster_config(n)
+    out = {}
+    for dim in range(1, n):
+        out[dim] = measure_barrier(
+            cfg, nic_based=nic_based, algorithm="gb", dimension=dim,
+            repetitions=reps, warmup=warmup,
+        ).mean_latency_us
+    return out
+
+
+class TestGbDimensionSweep:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_sweep(self, n, benchmark):
+        system = LANAI_4_3_SYSTEM
+        results = {}
+
+        def run():
+            results["nic"] = sweep_dimensions(system, n, nic_based=True)
+            results["host"] = sweep_dimensions(system, n, nic_based=False)
+            return results
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        nic, host = results["nic"], results["host"]
+        emit(
+            f"GB latency vs tree dimension, {n} nodes, LANai 4.3 (us)",
+            ["dim", "NIC-GB", "host-GB"],
+            [[d, nic[d], host[d]] for d in sorted(nic)],
+        )
+
+        best_nic = min(nic, key=nic.get)
+        best_host = min(host, key=host.get)
+        print(
+            f"optimal dimension: NIC-GB dim={best_nic} "
+            f"({nic[best_nic]:.2f}us), host-GB dim={best_host} "
+            f"({host[best_host]:.2f}us)"
+        )
+
+        if n >= 8:
+            # The chain (dim 1) is never optimal at meaningful sizes...
+            assert best_nic != 1 and best_host != 1
+            # ...and neither is the flat star at 16 nodes (serialized
+            # receives at the root dominate).
+            if n == 16:
+                assert best_nic != n - 1 and best_host != n - 1
+            # The sweep genuinely matters: worst/best gap is substantial.
+            assert max(nic.values()) / min(nic.values()) > 1.3
+
+    def test_optimal_dimension_shrinks_latency_vs_default(self, benchmark):
+        """Using the swept optimum matches the Figure 5(a) GB series."""
+        system = LANAI_4_3_SYSTEM
+
+        def run():
+            return sweep_dimensions(system, 16, nic_based=True, reps=3)
+
+        nic = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert min(nic.values()) == pytest.approx(152.27, rel=0.15)

@@ -1,0 +1,71 @@
+"""Section 1's host-utilization claim (ablation).
+
+"Another feature of our NIC-based barrier implementation is better
+utilization of the host processor.  Because the barrier algorithm is
+performed at the NIC, the processor is free to perform computation while
+polling for the barrier to complete.  This is known as a fuzzy barrier."
+
+We measure the host-compute fraction of a compute+barrier loop in three
+modes (host-based, blocking NIC-based, fuzzy NIC-based) across work
+granularities.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.analysis.utilization import utilization_comparison
+
+
+class TestHostUtilization:
+    @pytest.mark.parametrize("work_us", [40.0, 80.0, 160.0])
+    def test_utilization_ordering(self, work_us, benchmark):
+        results = {}
+
+        def run():
+            results.update(
+                utilization_comparison(
+                    num_nodes=8,
+                    iterations=8,
+                    work_per_iteration_us=work_us,
+                    config=LANAI_4_3_SYSTEM.cluster_config(8),
+                )
+            )
+            return results
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            f"Host compute fraction, {work_us:.0f} us work/iter, 8 nodes",
+            ["mode", "total (us)", "us/iter", "compute fraction"],
+            [
+                [m, r.total_time_us, r.time_per_iteration_us, r.compute_fraction]
+                for m, r in results.items()
+            ],
+        )
+        host = results["host"].compute_fraction
+        nic = results["nic"].compute_fraction
+        fuzzy = results["fuzzy"].compute_fraction
+        # The paper's ordering: NIC-based beats host-based on utilization,
+        # and the fuzzy barrier beats both by overlapping.
+        assert host < nic < fuzzy
+        # The fuzzy barrier also finishes soonest in wall time.
+        assert results["fuzzy"].total_time_us <= results["nic"].total_time_us
+
+    def test_overlap_recovers_most_of_the_barrier(self, benchmark):
+        """With enough work available, the fuzzy barrier hides nearly the
+        whole NIC-barrier latency behind computation."""
+
+        def run():
+            return utilization_comparison(
+                num_nodes=8, iterations=8, work_per_iteration_us=120.0,
+                config=LANAI_4_3_SYSTEM.cluster_config(8),
+            )
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        nic_iter = results["nic"].time_per_iteration_us
+        fuzzy_iter = results["fuzzy"].time_per_iteration_us
+        barrier_cost = nic_iter - 120.0
+        hidden = nic_iter - fuzzy_iter
+        print(f"\nblocking NIC barrier adds {barrier_cost:.1f} us/iter; "
+              f"fuzzy overlap hides {hidden:.1f} us ({100*hidden/barrier_cost:.0f}%)")
+        assert hidden > 0.5 * barrier_cost

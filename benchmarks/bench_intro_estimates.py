@@ -1,0 +1,94 @@
+"""Section 1's back-of-envelope estimate.
+
+"a software barrier would take log2 N (e.g., a pairwise-exchange
+algorithm ...) to 2 log2 N (e.g., a gather-and-broadcast algorithm ...)
+steps ... So a barrier across 16 processors would take 120 to 240 us per
+barrier" given a one-way host-based latency of up to ~30 us.
+
+We measure our simulated one-way host-to-host latency, rebuild the
+estimate range from it, and check that the measured host-based barriers
+fall inside the range the paper's reasoning predicts.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import REPS, WARMUP, emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.analysis.experiments import best_gb_dimension, measure_barrier
+from repro.cluster.builder import build_cluster
+from repro.gm.events import RecvEvent
+
+
+def measure_one_way_latency(system) -> float:
+    """Mean one-way host-to-host latency over a few ping messages."""
+    cluster = build_cluster(system.cluster_config(2))
+    a = cluster.open_port(0, 2)
+    b = cluster.open_port(1, 2)
+    samples = []
+
+    def sender():
+        from repro.sim.primitives import Timeout
+
+        for i in range(8):
+            start = cluster.now
+            yield from a.send_with_callback(1, 2, payload=start)
+            # Space the pings out so they measure unloaded latency
+            # rather than queueing behind each other.
+            yield Timeout(200.0)
+
+    def receiver():
+        for _ in range(8):
+            yield from b.provide_receive_buffer()
+        for _ in range(8):
+            ev = yield from b.receive_where(lambda e: isinstance(e, RecvEvent))
+            samples.append(cluster.now - ev.payload)
+
+    cluster.spawn(sender())
+    cluster.spawn(receiver())
+    cluster.run(max_events=2_000_000)
+    # Skip the first (cold queues), average the rest.
+    return sum(samples[1:]) / len(samples[1:])
+
+
+class TestIntroEstimates:
+    def test_barrier_cost_vs_step_count_estimate(self, benchmark):
+        system = LANAI_4_3_SYSTEM
+        n = 16
+        steps = math.log2(n)
+
+        one_way = measure_one_way_latency(system)
+
+        def run():
+            host_pe = measure_barrier(
+                system.cluster_config(n), nic_based=False, algorithm="pe",
+                repetitions=REPS, warmup=WARMUP,
+            ).mean_latency_us
+            return host_pe
+
+        host_pe = benchmark(run)
+        host_gb = best_gb_dimension(
+            system.cluster_config(n), nic_based=False,
+            repetitions=3, warmup=1,
+        ).mean_latency_us
+
+        low = steps * one_way          # log2(N) steps (PE)
+        high = 2 * steps * one_way     # 2*log2(N) steps (GB)
+        emit(
+            "Section 1 estimate check (16 nodes, LANai 4.3)",
+            ["quantity", "value (us)"],
+            [
+                ["measured one-way latency", one_way],
+                ["estimate low  (log2N steps)", low],
+                ["estimate high (2 log2N steps)", high],
+                ["measured host-PE barrier", host_pe],
+                ["measured host-GB barrier (best dim)", host_gb],
+                ["paper's quoted range", "120-240 (at 30us one-way)"],
+            ],
+        )
+        # PE lands on the low estimate (each PE step is one message time).
+        assert host_pe == pytest.approx(low, rel=0.15)
+        # GB lands inside the [low, high] band: tree parallelism and
+        # pipelining beat the naive 2*log2(N) sequential-step bound.
+        assert low < host_gb <= high * 1.15

@@ -1,0 +1,104 @@
+"""The MPI-over-GM evaluation the paper defers to its companion paper [4].
+
+"We expect that the factor of improvement will also increase if an
+additional programming layer, such as MPI, is added over GM because of
+the additional overhead the layer adds to each message sent or
+received."  The repro.mpi layer makes this measurable: MPI_Barrier via
+the NIC pays the layer's cost once per call; the host-based MPI_Barrier
+pays it on every message of every step.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.analysis.experiments import measure_barrier
+from repro.cluster.builder import build_cluster
+from repro.cluster.runner import run_on_group
+from repro.mpi import Communicator, MpiParams
+
+
+def mpi_barrier_latency(n, nic, reps=5, warmup=2):
+    cluster = build_cluster(LANAI_4_3_SYSTEM.cluster_config(n))
+    params = MpiParams(nic_collectives=nic)
+    enters, exits = {}, {}
+
+    def program(ctx):
+        comm = Communicator(ctx.port, ctx.group, ctx.rank, params=params)
+        for rep in range(warmup + reps):
+            enters.setdefault(rep, []).append(ctx.now)
+            yield from comm.barrier()
+            exits.setdefault(rep, []).append(ctx.now)
+
+    run_on_group(cluster, program, max_events=20_000_000)
+    lats = [
+        max(exits[rep]) - max(enters[rep])
+        for rep in range(warmup, warmup + reps)
+    ]
+    return sum(lats) / len(lats)
+
+
+class TestMpiLayer:
+    def test_mpi_barrier_comparison(self, benchmark):
+        rows = []
+        data = {}
+
+        def run():
+            for n in (4, 8, 16):
+                mpi_host = mpi_barrier_latency(n, nic=False)
+                mpi_nic = mpi_barrier_latency(n, nic=True)
+                cfg = LANAI_4_3_SYSTEM.cluster_config(n)
+                gm_host = measure_barrier(
+                    cfg, nic_based=False, algorithm="pe",
+                    repetitions=4, warmup=1,
+                ).mean_latency_us
+                gm_nic = measure_barrier(
+                    cfg, nic_based=True, algorithm="pe",
+                    repetitions=4, warmup=1,
+                ).mean_latency_us
+                data[n] = (gm_host / gm_nic, mpi_host / mpi_nic)
+                rows.append(
+                    [n, gm_host, gm_nic, gm_host / gm_nic,
+                     mpi_host, mpi_nic, mpi_host / mpi_nic]
+                )
+            return data
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "MPI_Barrier over GM vs raw GM barrier, LANai 4.3, PE (us)",
+            ["N", "GM host", "GM NIC", "GM factor",
+             "MPI host", "MPI NIC", "MPI factor"],
+            rows,
+        )
+        # The layer raises the factor of improvement at every size.
+        for n, (gm_factor, mpi_factor) in data.items():
+            assert mpi_factor > gm_factor, (
+                f"N={n}: MPI factor {mpi_factor:.2f} should exceed "
+                f"GM factor {gm_factor:.2f}"
+            )
+
+    def test_mpi_allreduce_vs_gm(self, benchmark):
+        """The layer benefit extends to data collectives."""
+        n = 8
+
+        def coll_latency(nic):
+            cluster = build_cluster(LANAI_4_3_SYSTEM.cluster_config(n))
+            params = MpiParams(nic_collectives=nic)
+            done = []
+
+            def program(ctx):
+                comm = Communicator(ctx.port, ctx.group, ctx.rank, params=params)
+                for _ in range(3):
+                    yield from comm.allreduce(ctx.rank, op="sum")
+                done.append(ctx.now)
+
+            run_on_group(cluster, program, max_events=20_000_000)
+            return max(done)
+
+        def run():
+            return coll_latency(False), coll_latency(True)
+
+        host_t, nic_t = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(f"\nMPI_Allreduce x3, 8 nodes: host-based {host_t:.1f} us, "
+              f"NIC-based {nic_t:.1f} us (x{host_t / nic_t:.2f})")
+        assert nic_t < host_t

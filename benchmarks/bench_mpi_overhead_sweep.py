@@ -1,0 +1,63 @@
+"""Section 2.2 / Section 8 prediction (extension bench).
+
+"From Equation 3 we can predict that as the host send overhead
+increases, say from the addition of another programming layer such as
+MPI, the factor of improvement will increase."  We sweep an added
+per-message host overhead (0..16 us on send and receive) and measure the
+PE improvement factor at 16 nodes.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.analysis.experiments import measure_barrier
+from repro.analysis.model import BarrierModel, derive_model_params
+
+
+class TestMpiOverheadSweep:
+    def test_improvement_grows_with_host_overhead(self, benchmark):
+        system = LANAI_4_3_SYSTEM
+        overheads = [0.0, 4.0, 8.0, 16.0]
+        rows = []
+        factors = []
+
+        def run():
+            for extra in overheads:
+                host_params = system.host_params.with_(extra_overhead_us=extra)
+                cfg = system.cluster_config(16).with_(host_params=host_params)
+                host = measure_barrier(
+                    cfg, nic_based=False, algorithm="pe",
+                    repetitions=4, warmup=1,
+                ).mean_latency_us
+                nic = measure_barrier(
+                    cfg, nic_based=True, algorithm="pe",
+                    repetitions=4, warmup=1,
+                ).mean_latency_us
+                model = BarrierModel(
+                    derive_model_params(
+                        system.lanai_model, host_params,
+                        system.nic_params, system.net_params,
+                    )
+                )
+                factors.append(host / nic)
+                rows.append(
+                    [extra, host, nic, host / nic, model.improvement(16)]
+                )
+            return factors
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "MPI-layer overhead sweep, PE, 16 nodes, LANai 4.3",
+            ["extra us/msg", "host-PE (us)", "NIC-PE (us)", "factor",
+             "Eq3 factor"],
+            rows,
+        )
+        # The factor of improvement increases monotonically with the
+        # added layer's overhead -- the paper's Section 8 expectation for
+        # MPI over GM.
+        assert factors == sorted(factors)
+        assert factors[-1] > factors[0] * 1.25
+        # The analytic model agrees on direction and rough magnitude.
+        for (extra, host, nic, sim_f, eq3_f) in rows:
+            assert sim_f == pytest.approx(eq3_f, rel=0.20)

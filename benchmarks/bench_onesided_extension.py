@@ -1,0 +1,158 @@
+"""Section 8 extension: the Get/Put layer.
+
+"We intend to study the effects of our NIC-based barrier operation on
+higher communication layers, such as MPI or Get/Put."  This bench
+measures the one-sided primitives against their host-level equivalents:
+a PUT vs a host send+receive, and a GET round trip vs a host-level echo
+(two messages, two host turnarounds).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM
+from repro.cluster.builder import build_cluster
+from repro.gm.events import RecvEvent
+from repro.gm.onesided import OneSidedPort
+from repro.sim.primitives import Timeout
+
+
+def put_latency(system, size_bytes, samples=6):
+    """Mean time from put initiation until the data is in remote memory."""
+    cluster = build_cluster(system.cluster_config(2))
+    a = cluster.open_port(0, 2)
+    b = cluster.open_port(1, 2)
+    osa, osb = OneSidedPort(a), OneSidedPort(b)
+    region = osb.expose_region(1 << 20)
+    lats = []
+
+    def writer():
+        for i in range(samples):
+            start = cluster.now
+            yield from osa.put(region.handle, i * 4096, start, size_bytes)
+            # Wait until the value is visible remotely (poll sim state).
+            while region.data.get(i * 4096) != start:
+                yield Timeout(0.5)
+            lats.append(cluster.now - start)
+            yield Timeout(100.0)
+
+    cluster.spawn(writer())
+    cluster.run(max_events=3_000_000)
+    return sum(lats[1:]) / len(lats[1:])
+
+
+def host_send_latency(system, size_bytes, samples=6):
+    """Mean host-to-host one-way latency (send -> remote host consumed)."""
+    cluster = build_cluster(system.cluster_config(2))
+    a = cluster.open_port(0, 2)
+    b = cluster.open_port(1, 2)
+    lats = []
+
+    def sender():
+        for _ in range(samples):
+            yield from a.send_with_callback(1, 2, payload=cluster.now,
+                                            size_bytes=size_bytes)
+            yield Timeout(200.0)
+
+    def receiver():
+        yield from b.ensure_receive_buffers(2 * samples, size_bytes=65536)
+        for _ in range(samples):
+            ev = yield from b.receive_where(lambda e: isinstance(e, RecvEvent))
+            lats.append(cluster.now - ev.payload)
+
+    cluster.spawn(sender())
+    cluster.spawn(receiver())
+    cluster.run(max_events=3_000_000)
+    return sum(lats[1:]) / len(lats[1:])
+
+
+def get_roundtrip_latency(system, size_bytes, samples=6):
+    cluster = build_cluster(system.cluster_config(2))
+    a = cluster.open_port(0, 2)
+    b = cluster.open_port(1, 2)
+    osa, osb = OneSidedPort(a), OneSidedPort(b)
+    region = osb.expose_region(1 << 20)
+    lats = []
+
+    def reader():
+        for i in range(samples):
+            start = cluster.now
+            yield from osa.get_blocking(region.handle, i * 64, size_bytes)
+            lats.append(cluster.now - start)
+            yield Timeout(100.0)
+
+    cluster.spawn(reader())
+    cluster.run(max_events=3_000_000)
+    return sum(lats[1:]) / len(lats[1:])
+
+
+def host_echo_latency(system, size_bytes, samples=6):
+    cluster = build_cluster(system.cluster_config(2))
+    a = cluster.open_port(0, 2)
+    b = cluster.open_port(1, 2)
+    lats = []
+
+    def pinger():
+        yield from a.ensure_receive_buffers(2 * samples, size_bytes=65536)
+        for _ in range(samples):
+            start = cluster.now
+            yield from a.send_with_callback(1, 2, payload="ping")
+            yield from a.receive_where(lambda e: isinstance(e, RecvEvent))
+            lats.append(cluster.now - start)
+            yield Timeout(100.0)
+
+    def echoer():
+        yield from b.ensure_receive_buffers(2 * samples, size_bytes=65536)
+        for _ in range(samples):
+            yield from b.receive_where(lambda e: isinstance(e, RecvEvent))
+            yield from b.send_with_callback(0, 2, payload="pong",
+                                            size_bytes=size_bytes)
+
+    cluster.spawn(pinger())
+    cluster.spawn(echoer())
+    cluster.run(max_events=3_000_000)
+    return sum(lats[1:]) / len(lats[1:])
+
+
+class TestOneSidedExtension:
+    @pytest.mark.parametrize(
+        "system", [LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM], ids=["lanai43", "lanai72"]
+    )
+    def test_put_vs_host_send(self, system, benchmark):
+        rows = []
+
+        def run():
+            for size in (8, 512, 4096):
+                put = put_latency(system, size)
+                host = host_send_latency(system, size)
+                rows.append([size, host, put, host / put])
+            return rows
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            f"PUT vs host send, {system.lanai_model.name} (us)",
+            ["bytes", "host send", "one-sided put", "factor"],
+            rows,
+        )
+        # The put skips the remote host turnaround at every size.
+        assert all(row[3] > 1.0 for row in rows)
+
+    def test_get_vs_host_echo(self, benchmark):
+        system = LANAI_4_3_SYSTEM
+        rows = []
+
+        def run():
+            for size in (8, 1024):
+                get = get_roundtrip_latency(system, size)
+                echo = host_echo_latency(system, size)
+                rows.append([size, echo, get, echo / get])
+            return rows
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "GET round trip vs host-level echo, LANai 4.3 (us)",
+            ["bytes", "host echo", "one-sided get", "factor"],
+            rows,
+        )
+        # A GET skips both remote-host crossings of the echo.
+        assert all(row[3] > 1.0 for row in rows)

@@ -1,0 +1,116 @@
+"""Section 8 extrapolation (extension bench).
+
+"This factor of improvement is expected to increase with the size of the
+system and with the speed of the NIC processor."  We extrapolate beyond
+the paper's 16-node testbed (multi-switch topology) and across the full
+LANai range the paper quotes (33 / 66 / 132 MHz).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.analysis.experiments import measure_barrier
+from repro.nic.lanai import LANAI_4_3, LANAI_7_2, LANAI_9_2
+
+
+class TestScalingExtrapolation:
+    def test_factor_vs_system_size(self, benchmark):
+        """PE improvement factor up to 64 nodes (16-port switch tree)."""
+        sizes = (8, 16, 32, 64)
+        rows = []
+        factors = {}
+
+        def run():
+            for n in sizes:
+                cfg = LANAI_4_3_SYSTEM.cluster_config(n)
+                host = measure_barrier(
+                    cfg, nic_based=False, algorithm="pe",
+                    repetitions=3, warmup=1,
+                ).mean_latency_us
+                nic = measure_barrier(
+                    cfg, nic_based=True, algorithm="pe",
+                    repetitions=3, warmup=1,
+                ).mean_latency_us
+                factors[n] = host / nic
+                rows.append([n, host, nic, factors[n]])
+            return factors
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "Scaling extrapolation, PE, LANai 4.3 (multi-switch >16 nodes)",
+            ["N", "host-PE (us)", "NIC-PE (us)", "factor"],
+            rows,
+        )
+        vals = [factors[n] for n in sizes]
+        assert vals == sorted(vals), "improvement must grow with system size"
+        assert factors[64] > 1.9
+
+    def test_factor_vs_nic_speed(self, benchmark):
+        """PE improvement factor at 16 nodes across the LANai range."""
+        models = (LANAI_4_3, LANAI_7_2, LANAI_9_2)
+        rows = []
+        factors = []
+
+        def run():
+            for model in models:
+                cfg = LANAI_4_3_SYSTEM.cluster_config(16).with_(
+                    lanai_model=model
+                )
+                host = measure_barrier(
+                    cfg, nic_based=False, algorithm="pe",
+                    repetitions=4, warmup=1,
+                ).mean_latency_us
+                nic = measure_barrier(
+                    cfg, nic_based=True, algorithm="pe",
+                    repetitions=4, warmup=1,
+                ).mean_latency_us
+                factors.append(host / nic)
+                rows.append([model.name, model.clock_mhz, host, nic, host / nic])
+            return factors
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "NIC processor speed sweep, PE, 16 nodes",
+            ["card", "MHz", "host-PE (us)", "NIC-PE (us)", "factor"],
+            rows,
+        )
+        assert factors == sorted(factors), (
+            "improvement must grow with NIC processor speed"
+        )
+
+    def test_nic_cpu_ablation_gb_crossover(self, benchmark):
+        """DESIGN.md ablation: with an (effectively) infinite-speed NIC
+        processor, the 2-node NIC-GB vs host-GB inversion disappears --
+        proving the inversion is NIC-processing overhead, exactly the
+        paper's explanation."""
+        fast = LANAI_4_3.with_clock(10_000.0, name="LANai-infinite")
+        results = {}
+
+        def run():
+            for label, model in (("33 MHz", LANAI_4_3), ("fast", fast)):
+                cfg = LANAI_4_3_SYSTEM.cluster_config(2).with_(lanai_model=model)
+                host_gb = measure_barrier(
+                    cfg, nic_based=False, algorithm="gb", dimension=1,
+                    repetitions=4, warmup=1,
+                ).mean_latency_us
+                nic_gb = measure_barrier(
+                    cfg, nic_based=True, algorithm="gb", dimension=1,
+                    repetitions=4, warmup=1,
+                ).mean_latency_us
+                results[label] = (host_gb, nic_gb)
+            return results
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        emit(
+            "GB 2-node crossover vs NIC speed (us)",
+            ["NIC", "host-GB", "NIC-GB", "NIC wins?"],
+            [
+                [label, h, n, "yes" if n < h else "no"]
+                for label, (h, n) in results.items()
+            ],
+        )
+        h33, n33 = results["33 MHz"]
+        hf, nf = results["fast"]
+        assert n33 > h33, "at 33 MHz the NIC-GB barrier loses at 2 nodes"
+        assert nf < hf, "with a fast NIC processor the inversion disappears"

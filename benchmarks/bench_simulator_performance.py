@@ -1,0 +1,97 @@
+"""Meta-benchmark: wall-clock performance of the simulator itself.
+
+Tracks the cost of regenerating the paper so regressions in the DES
+kernel or the protocol models show up in CI.  Unlike the other benches
+(which report *simulated* microseconds), these numbers are real seconds.
+"""
+
+import pytest
+
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.analysis.experiments import measure_barrier
+from repro.sim.engine import Simulator
+from repro.sim.primitives import Store, Timeout
+from repro.sim.process import Process
+
+
+class TestKernelThroughput:
+    def test_raw_event_dispatch(self, benchmark):
+        """Events per second through the bare heap."""
+
+        def run():
+            sim = Simulator()
+            count = 50_000
+
+            def tick(i):
+                if i < count:
+                    sim.schedule(1.0, tick, i + 1)
+
+            sim.schedule(0.0, tick, 0)
+            sim.run()
+            return sim.events_executed
+
+        executed = benchmark(run)
+        assert executed == 50_001
+
+    def test_producer_consumer_processes(self, benchmark):
+        """Process/Store machinery throughput."""
+
+        def run():
+            sim = Simulator()
+            store = Store(sim)
+            items = 10_000
+
+            def producer():
+                for i in range(items):
+                    yield Timeout(0.1)
+                    store.put(i)
+
+            def consumer():
+                total = 0
+                for _ in range(items):
+                    total += yield store.get()
+                return total
+
+            Process(sim, producer())
+            c = Process(sim, consumer())
+            sim.run()
+            return c.result
+
+        total = benchmark(run)
+        assert total == sum(range(10_000))
+
+
+class TestEndToEndSimulationCost:
+    def test_barrier_measurement_wall_time(self, benchmark):
+        """Wall cost of one 16-node NIC-PE measurement (the unit of all
+        Figure 5 work)."""
+
+        def run():
+            return measure_barrier(
+                LANAI_4_3_SYSTEM.cluster_config(16),
+                nic_based=True, algorithm="pe", repetitions=3, warmup=1,
+            ).mean_latency_us
+
+        latency = benchmark(run)
+        assert latency == pytest.approx(102.14, rel=0.10)
+
+    def test_events_per_simulated_barrier(self, benchmark):
+        """Event-count footprint of one barrier (model-complexity gauge:
+        grossly ballooning event counts means an accidental busy loop)."""
+
+        def run():
+            from repro.cluster.builder import build_cluster
+            from repro.cluster.runner import run_on_group
+            from repro.core.barrier import barrier
+
+            cluster = build_cluster(LANAI_4_3_SYSTEM.cluster_config(16))
+
+            def program(ctx):
+                yield from barrier(ctx.port, ctx.group, ctx.rank)
+
+            run_on_group(cluster, program, max_events=5_000_000)
+            return cluster.sim.events_executed
+
+        events = benchmark.pedantic(run, rounds=2, iterations=1)
+        # 16 nodes x 4 PE steps: a few thousand events, not millions.
+        assert events < 60_000

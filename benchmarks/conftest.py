@@ -1,0 +1,87 @@
+"""Shared infrastructure for the paper-reproduction benches.
+
+Each bench regenerates one table/figure of the paper and prints a
+paper-vs-measured comparison (run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables; they are also emitted into the
+captured output on failure).
+
+The Figure 5 sweeps are computed once per session and shared between the
+latency benches (5a/5c) and the improvement-factor benches (5b/5d).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.analysis.calibration import LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM
+from repro.analysis.experiments import measure_barrier_sweep
+from repro.analysis.tables import format_table
+
+#: Repetitions per measurement: the paper averaged 100k noisy hardware
+#: runs; the simulator is deterministic, so a handful suffices.
+REPS = 6
+WARMUP = 2
+
+
+@pytest.fixture(scope="session")
+def fig5_lanai43():
+    """The Figure 5(a)/(b) sweep: LANai 4.3, N in {2,4,8,16}."""
+    cfg = LANAI_4_3_SYSTEM.cluster_config(16)
+    return measure_barrier_sweep(
+        cfg, sizes=LANAI_4_3_SYSTEM.sizes, repetitions=REPS, warmup=WARMUP
+    )
+
+
+@pytest.fixture(scope="session")
+def fig5_lanai72():
+    """The Figure 5(c)/(d) sweep: LANai 7.2, N in {2,4,8}."""
+    cfg = LANAI_7_2_SYSTEM.cluster_config(8)
+    return measure_barrier_sweep(
+        cfg, sizes=LANAI_7_2_SYSTEM.sizes, repetitions=REPS, warmup=WARMUP
+    )
+
+
+def emit(title: str, headers, rows) -> None:
+    """Print a result table (visible with -s / on assertion failure)."""
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def latency_rows(system, sweep) -> list:
+    rows = []
+    for n in system.sizes:
+        row = [n]
+        for variant in ("host-pe", "nic-pe", "host-gb", "nic-gb"):
+            m = sweep[variant].get(n)
+            row.append(m.mean_latency_us if m else float("nan"))
+        anchor_nic_pe = system.anchor(n, "nic-pe")
+        row.append(anchor_nic_pe.value if anchor_nic_pe else "-")
+        rows.append(row)
+    return rows
+
+
+def factor_rows(system, sweep) -> list:
+    rows = []
+    for n in system.sizes:
+        pe = (
+            sweep["host-pe"][n].mean_latency_us
+            / sweep["nic-pe"][n].mean_latency_us
+        )
+        gb = (
+            sweep["host-gb"][n].mean_latency_us
+            / sweep["nic-gb"][n].mean_latency_us
+        )
+        a_pe = system.anchor(n, "factor-pe")
+        a_gb = system.anchor(n, "factor-gb")
+        rows.append(
+            [
+                n,
+                pe,
+                a_pe.value if a_pe else "-",
+                gb,
+                a_gb.value if a_gb else "-",
+            ]
+        )
+    return rows

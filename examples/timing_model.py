@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Reconstruct the paper's Figure 2 timing decomposition.
+
+Prints the six timing-diagram terms (Send, SDMA, Network, Recv, RDMA,
+HRecv) derived from the simulator's cost tables for both NIC
+generations, evaluates Equations 1-3 with them, and cross-checks against
+end-to-end simulated barrier measurements -- the analytic model and the
+discrete-event simulation are two independent evaluations of the same
+parameters.
+
+Run:  python examples/timing_model.py
+"""
+
+from repro.analysis.calibration import LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM
+from repro.analysis.experiments import measure_barrier
+from repro.analysis.model import BarrierModel, derive_model_params
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    term_rows = []
+    eq_rows = []
+    for system in (LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM):
+        params = derive_model_params(
+            system.lanai_model, system.host_params,
+            system.nic_params, system.net_params,
+        )
+        model = BarrierModel(params)
+        term_rows.append([
+            system.lanai_model.name,
+            params.send, params.sdma, params.network,
+            params.recv, params.rdma, params.hrecv,
+            params.host_step,
+        ])
+        n = max(system.sizes)
+        cfg = system.cluster_config(n)
+        sim_host = measure_barrier(
+            cfg, nic_based=False, algorithm="pe", repetitions=4, warmup=1
+        ).mean_latency_us
+        sim_nic = measure_barrier(
+            cfg, nic_based=True, algorithm="pe", repetitions=4, warmup=1
+        ).mean_latency_us
+        eq_rows.append([
+            system.lanai_model.name, n,
+            model.t_host(n), sim_host,
+            model.t_nic(n), sim_nic,
+            model.improvement(n), sim_host / sim_nic,
+        ])
+
+    print(format_table(
+        ["card", "Send", "SDMA", "Network", "Recv", "RDMA", "HRecv",
+         "host step"],
+        term_rows,
+        title="Figure 2 terms derived from the cost tables (us)",
+    ))
+    print()
+    print(format_table(
+        ["card", "N", "Eq1 T_host", "sim T_host", "Eq2 T_nic", "sim T_nic",
+         "Eq3 factor", "sim factor"],
+        eq_rows,
+        title="Equations 1-3 vs end-to-end simulation",
+    ))
+    print()
+    print("Figure 2's structure, annotated:")
+    print("  host-based step: Send + SDMA + Network + Recv + RDMA + HRecv")
+    print("                   (the full path, log2(N) times -- Eq 1)")
+    print("  NIC-based step:  Network + Recv(+firmware advance)")
+    print("                   (host and PCI crossed once total -- Eq 2)")
+
+
+if __name__ == "__main__":
+    main()

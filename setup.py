@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Offline environment has no `wheel` package, so PEP 660 editable installs
+# fail; this legacy setup.py lets `pip install -e . --no-use-pep517` work.
+setup()

@@ -1,0 +1,106 @@
+"""Plain-text charts for terminals and reports.
+
+The benches and the report CLI render the paper's figures as monospace
+line/bar charts (no plotting dependency is available offline, and CI logs
+are text anyway).  Not a plotting library -- just the two chart shapes the
+experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def ascii_line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as a scatter/line chart.
+
+    Points are plotted on a character grid with linear axes; each series
+    gets a glyph from :data:`SERIES_GLYPHS` and a legend line.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("nothing to plot")
+    all_pts = [p for pts in series.values() for p in pts]
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    # Avoid zero ranges.
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    # Pad the y range slightly so extreme points aren't on the frame.
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, glyph: str) -> None:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][col] = glyph
+
+    legend: List[str] = []
+    for i, (name, pts) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[i % len(SERIES_GLYPHS)]
+        legend.append(f"{glyph} = {name}")
+        for x, y in pts:
+            plot(x, y, glyph)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_max:.6g}"
+    y_bot = f"{y_min:.6g}"
+    label_w = max(len(y_top), len(y_bot))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = y_top.rjust(label_w)
+        elif r == height - 1:
+            prefix = y_bot.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x_left = f"{x_min:.6g}"
+    x_right = f"{x_max:.6g}"
+    axis = " " * label_w + " +" + "-" * width + "+"
+    lines.append(axis)
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(" " * (label_w + 2) + x_left + " " * gap + x_right)
+    if x_label or y_label:
+        lines.append(f"  x: {x_label}   y: {y_label}".rstrip())
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars, scaled to the maximum value."""
+    if not values:
+        raise ValueError("nothing to plot")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar chart values must be >= 0")
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"{name.rjust(label_w)} | {bar} {value:.6g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""The paper's analytic performance model (Section 2.2, Equations 1-3).
+
+Equation 1 (host-based)::
+
+    T_host = log2(N) * (Send + SDMA + Network + Recv + RDMA + HRecv)
+
+Equation 2 (NIC-based)::
+
+    T_nic = Send + log2(N) * (Network + Recv) + RDMA + HRecv
+
+Equation 3: factor of improvement = T_host / T_nic.
+
+:func:`derive_model_params` computes the six terms from the simulator's
+cost tables, so the closed-form model and the discrete-event simulation
+are two independent evaluations of the same parameters -- the Figure 2
+validation bench checks they agree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.host.cpu import HostParams
+from repro.network.fabric import NetworkParams
+from repro.network.packet import HEADER_BYTES
+from repro.nic.lanai import LanaiModel
+from repro.nic.nic import NicParams
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """The six timing-diagram terms of Figure 2 (microseconds)."""
+
+    send: float     #: host initiates send -> NIC detects it
+    sdma: float     #: NIC moves message host -> NIC transmit buffer
+    network: float  #: transmit + wormhole transit (head latency)
+    recv: float     #: NIC receive processing
+    rdma: float     #: NIC moves message NIC -> host (+ event)
+    hrecv: float    #: host processes the delivered message
+    #: Extra NIC processing per barrier step of the *NIC-based* barrier
+    #: (record check/advance + next-packet preparation); adds to the
+    #: per-step term of Equation 2 and to its fixed part once.
+    nic_barrier_step_overhead: float = 0.0
+    nic_barrier_fixed_overhead: float = 0.0
+
+    @property
+    def host_step(self) -> float:
+        """One host-based barrier step (one full message path)."""
+        return self.send + self.sdma + self.network + self.recv + self.rdma + self.hrecv
+
+    @property
+    def nic_step(self) -> float:
+        """One NIC-based barrier step (NIC turns the message around)."""
+        return self.network + self.recv + self.nic_barrier_step_overhead
+
+
+class BarrierModel:
+    """Evaluate Equations 1-3 for a parameter set."""
+
+    def __init__(self, params: ModelParams) -> None:
+        self.params = params
+
+    @staticmethod
+    def steps(num_nodes: int) -> float:
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        return math.log2(num_nodes)
+
+    def t_host(self, num_nodes: int) -> float:
+        """Equation 1."""
+        return self.steps(num_nodes) * self.params.host_step
+
+    def t_nic(self, num_nodes: int) -> float:
+        """Equation 2 (plus the barrier-extension firmware overheads)."""
+        p = self.params
+        return (
+            p.send
+            + self.steps(num_nodes) * self.nic_step(num_nodes)
+            + p.rdma
+            + p.hrecv
+            + p.nic_barrier_fixed_overhead
+        )
+
+    def nic_step(self, num_nodes: int) -> float:  # noqa: ARG002 - symmetry
+        """Per-step cost of the NIC-based barrier (size-independent)."""
+        return self.params.nic_step
+
+    def improvement(self, num_nodes: int) -> float:
+        """Equation 3."""
+        return self.t_host(num_nodes) / self.t_nic(num_nodes)
+
+
+def derive_model_params(
+    lanai: LanaiModel,
+    host: HostParams,
+    nic: NicParams,
+    net: NetworkParams,
+    message_bytes: int = 8,
+) -> ModelParams:
+    """Compute the Figure 2 terms from the simulator's cost tables.
+
+    This is the bridge between the analytic model and the simulator: both
+    are parameterized by the same LANai cycle table, host costs and
+    physical-layer constants.
+    """
+    t = lanai.time
+    wire_bytes = HEADER_BYTES + message_bytes
+    pci = nic.pci_setup_us
+
+    send = host.effective_send_cost_us + t("poll_detect")
+    sdma = (
+        t("token_process")
+        + t("dma_setup")
+        + pci
+        + message_bytes / nic.pci_bandwidth_mbps
+        + t("packet_prep")
+        + t("send_queue_manage")
+    )
+    network = (
+        t("send_dispatch")
+        + wire_bytes / net.bandwidth_mbps
+        + net.routing_delay_us
+        + 2 * net.propagation_us
+        + wire_bytes / net.bandwidth_mbps  # second hop serialization
+    )
+    recv = t("recv_packet")
+    rdma = (
+        t("rdma_process")
+        + pci
+        + message_bytes / nic.pci_bandwidth_mbps
+        + t("post_event")
+        + pci
+        + 16.0 / nic.pci_bandwidth_mbps  # the event DMA
+    )
+    hrecv = host.poll_delay_us + host.effective_recv_cost_us
+
+    # The NIC-based barrier replaces the host turnaround with firmware:
+    # on reception the RDMA machine checks + advances the token, the SDMA
+    # machine prepares the next packet and re-checks the record.
+    step_overhead = (
+        t("barrier_check")
+        + t("barrier_advance")
+        + t("barrier_packet_prep")
+        + t("barrier_check")
+    )
+    fixed_overhead = t("barrier_initiate") + t("barrier_complete")
+    return ModelParams(
+        send=send,
+        sdma=sdma,
+        network=network,
+        recv=recv,
+        rdma=rdma,
+        hrecv=hrecv,
+        nic_barrier_step_overhead=step_overhead,
+        nic_barrier_fixed_overhead=fixed_overhead,
+    )

@@ -1,0 +1,155 @@
+"""Regenerate the paper's evaluation as a report.
+
+``python -m repro.analysis.report [--quick] [--out DIR]`` reruns the
+Figure 5 sweeps on both simulated testbeds, prints the
+paper-vs-measured tables, and (with ``--out``) writes ``figure5.csv`` and
+``report.md`` so results can be diffed across revisions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.calibration import (
+    LANAI_4_3_SYSTEM,
+    LANAI_7_2_SYSTEM,
+    SystemCalibration,
+)
+from repro.analysis.charts import ascii_line_chart
+from repro.analysis.experiments import BarrierMeasurement, measure_barrier_sweep
+from repro.analysis.tables import format_table
+
+VARIANTS = ("host-pe", "nic-pe", "host-gb", "nic-gb")
+
+
+def generate_figure5(
+    system: SystemCalibration, repetitions: int, warmup: int
+) -> Dict[str, Dict[int, BarrierMeasurement]]:
+    """Run the four-variant sweep over the system's published sizes."""
+    return measure_barrier_sweep(
+        system.cluster_config(max(system.sizes)),
+        sizes=system.sizes,
+        repetitions=repetitions,
+        warmup=warmup,
+    )
+
+
+def figure5_rows(system: SystemCalibration, sweep) -> List[list]:
+    """Flatten one system's sweep into CSV/table rows."""
+    rows = []
+    for n in system.sizes:
+        row: List = [system.lanai_model.name, n]
+        for variant in VARIANTS:
+            m = sweep[variant][n]
+            row.append(round(m.mean_latency_us, 2))
+        row.append(
+            round(
+                sweep["host-pe"][n].mean_latency_us
+                / sweep["nic-pe"][n].mean_latency_us,
+                3,
+            )
+        )
+        row.append(
+            round(
+                sweep["host-gb"][n].mean_latency_us
+                / sweep["nic-gb"][n].mean_latency_us,
+                3,
+            )
+        )
+        anchor = system.anchor(n, "nic-pe")
+        row.append(anchor.value if anchor else "")
+        rows.append(row)
+    return rows
+
+
+HEADERS = [
+    "card", "N", "host-pe", "nic-pe", "host-gb", "nic-gb",
+    "pe-factor", "gb-factor", "paper-nic-pe",
+]
+
+
+def render_report(all_rows: List[list]) -> str:
+    """Render the markdown report (table + per-card charts)."""
+    out = io.StringIO()
+    out.write("# Regenerated evaluation (Figure 5)\n\n")
+    out.write("Latencies in microseconds; GB at the best swept tree ")
+    out.write("dimension; factor = host / NIC (Equation 3).\n\n```\n")
+    out.write(format_table(HEADERS, all_rows))
+    out.write("\n```\n")
+    # One latency chart per card, like the paper's panels.
+    for card in dict.fromkeys(row[0] for row in all_rows):
+        series: Dict[str, list] = {v: [] for v in VARIANTS}
+        for row in all_rows:
+            if row[0] != card:
+                continue
+            n = row[1]
+            for i, variant in enumerate(VARIANTS):
+                series[variant].append((n, row[2 + i]))
+        out.write("\n```\n")
+        out.write(
+            ascii_line_chart(
+                series,
+                width=56,
+                height=14,
+                title=f"{card}: barrier latency vs nodes",
+                x_label="nodes",
+                y_label="us",
+            )
+        )
+        out.write("\n```\n")
+    out.write("\nPaper anchors: NIC-PE(16, LANai 4.3) = 102.14 us ")
+    out.write("(x1.78), NIC-GB(16) = 152.27 us (x1.46), ")
+    out.write("NIC-PE(8, LANai 7.2) = 49.25 us (x1.83).\n")
+    return out.getvalue()
+
+
+def write_outputs(out_dir: Path, all_rows: List[list]) -> None:
+    """Write figure5.csv and report.md into ``out_dir``."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with open(out_dir / "figure5.csv", "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(HEADERS)
+        writer.writerows(all_rows)
+    (out_dir / "report.md").write_text(render_report(all_rows))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repetitions (3 instead of 6)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for figure5.csv and report.md")
+    parser.add_argument("--system", choices=["4.3", "7.2", "both"],
+                        default="both")
+    args = parser.parse_args(argv)
+
+    reps = 3 if args.quick else 6
+    warmup = 1 if args.quick else 2
+    systems = {
+        "4.3": [LANAI_4_3_SYSTEM],
+        "7.2": [LANAI_7_2_SYSTEM],
+        "both": [LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM],
+    }[args.system]
+
+    all_rows: List[list] = []
+    for system in systems:
+        print(f"sweeping {system.name} ...", file=sys.stderr)
+        sweep = generate_figure5(system, reps, warmup)
+        all_rows.extend(figure5_rows(system, sweep))
+
+    print(render_report(all_rows))
+    if args.out is not None:
+        write_outputs(args.out, all_rows)
+        print(f"wrote {args.out}/figure5.csv and {args.out}/report.md",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

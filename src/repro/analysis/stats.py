@@ -1,0 +1,51 @@
+"""Latency statistics helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample (microseconds)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f}us std={self.std:.2f} "
+            f"min={self.minimum:.2f} p50={self.p50:.2f} "
+            f"p95={self.p95:.2f} max={self.maximum:.2f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> LatencyStats:
+    """Compute summary statistics for a latency sample."""
+    if not len(samples):
+        raise ValueError("empty sample")
+    arr = np.asarray(samples, dtype=float)
+    return LatencyStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )
+
+
+def improvement_factor(host_latency: float, nic_latency: float) -> float:
+    """Equation 3 applied to two measured latencies."""
+    if nic_latency <= 0:
+        raise ValueError("NIC latency must be positive")
+    return host_latency / nic_latency

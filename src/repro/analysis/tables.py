@@ -1,0 +1,48 @@
+"""Plain-text result tables shared by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render an aligned monospace table."""
+
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, s in enumerate(row):
+            widths[i] = max(widths[i], len(s))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(s.rjust(w) for s, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def paper_vs_measured_row(
+    label: str, paper: Optional[float], measured: float
+) -> List[Any]:
+    """A row comparing a paper anchor to a measured value."""
+    if paper is None:
+        return [label, "-", measured, "-"]
+    return [label, paper, measured, measured / paper]

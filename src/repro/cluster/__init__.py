@@ -1,0 +1,12 @@
+"""Cluster assembly and application running."""
+
+from repro.cluster.builder import Cluster, ClusterConfig, build_cluster
+from repro.cluster.runner import run_on_group, spawn_group
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "build_cluster",
+    "run_on_group",
+    "spawn_group",
+]

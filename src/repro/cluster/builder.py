@@ -1,0 +1,116 @@
+"""Build a simulated Myrinet/GM cluster.
+
+``build_cluster(ClusterConfig(num_nodes=16))`` reproduces the paper's
+testbed: N nodes on one crossbar switch, each with one LANai NIC and a
+dual-CPU host.  Everything is a parameter so the benches can sweep NIC
+generation, host overhead, reliability mode and topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.host.cpu import HostParams
+from repro.host.node import Node
+from repro.network.fabric import Network, NetworkParams
+from repro.network.topology import (
+    Topology,
+    multi_switch_topology,
+    single_switch_topology,
+)
+from repro.nic.lanai import LANAI_4_3, LanaiModel
+from repro.nic.nic import Nic, NicParams
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import SimRng
+from repro.sim.tracing import Tracer
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to assemble a cluster."""
+
+    num_nodes: int = 8
+    lanai_model: LanaiModel = LANAI_4_3
+    host_params: HostParams = field(default_factory=HostParams)
+    nic_params: NicParams = field(default_factory=NicParams)
+    net_params: NetworkParams = field(default_factory=NetworkParams)
+    #: Explicit topology; default = one switch if the nodes fit a 16-port
+    #: crossbar (the paper's testbed), else a 16-port switch tree.
+    topology: Optional[Topology] = None
+    seed: int = 0
+    trace: bool = False
+
+    def with_(self, **changes) -> "ClusterConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **changes)
+
+    def make_topology(self) -> Topology:
+        """The explicit topology, or the testbed default for the size."""
+        if self.topology is not None:
+            return self.topology
+        if self.num_nodes <= 16:
+            return single_switch_topology(self.num_nodes)
+        return multi_switch_topology(self.num_nodes, switch_radix=16)
+
+
+class Cluster:
+    """A live simulated cluster."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rng = SimRng(config.seed)
+        self.tracer = Tracer(self.sim, enabled=config.trace)
+        topology = config.make_topology()
+        self.network = Network(self.sim, topology, config.net_params)
+        self.nodes: List[Node] = []
+        for node_id in range(config.num_nodes):
+            nic = Nic(
+                self.sim,
+                node_id,
+                config.lanai_model,
+                self.network,
+                params=config.nic_params,
+                tracer=self.tracer,
+            )
+            self.nodes.append(
+                Node(self.sim, node_id, nic, host_params=config.host_params)
+            )
+
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        """The node with the given id."""
+        return self.nodes[node_id]
+
+    def open_port(self, node_id: int, port_id: Optional[int] = None):
+        """Open a GM port on a node (host-synchronous convenience)."""
+        return self.nodes[node_id].driver.open_port(port_id)
+
+    def spawn(self, generator, name: str = "") -> Process:
+        """Run a host application generator as a simulation process."""
+        return Process(self.sim, generator, name=name)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation (see :meth:`repro.sim.engine.Simulator.run`)."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def shutdown(self) -> None:
+        """Kill the firmware processes so the event heap can drain."""
+        for node in self.nodes:
+            node.nic.shutdown()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self.sim.now
+
+
+def build_cluster(config: Optional[ClusterConfig] = None, **overrides) -> Cluster:
+    """Assemble a cluster from a config (or keyword overrides)."""
+    if config is None:
+        config = ClusterConfig(**overrides)
+    elif overrides:
+        config = config.with_(**overrides)
+    return Cluster(config)

@@ -1,0 +1,93 @@
+"""Run one program per barrier participant.
+
+A *program* is a generator function with signature
+``program(ctx, **kwargs)`` where ``ctx`` is a :class:`RankContext` binding
+the participant's port, rank and group.  ``spawn_group`` opens one port
+per endpoint and spawns the programs; ``run_on_group`` additionally runs
+the simulation to completion and returns the program results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cluster.builder import Cluster
+from repro.gm.api import GmPort
+from repro.sim.process import Process
+
+Endpoint = Tuple[int, int]
+
+
+@dataclass
+class RankContext:
+    """What a program sees: its port and its place in the group."""
+
+    cluster: Cluster
+    port: GmPort
+    rank: int
+    group: Tuple[Endpoint, ...]
+
+    @property
+    def sim(self):
+        """The cluster's simulator."""
+        return self.cluster.sim
+
+    @property
+    def node(self):
+        """The node this rank's port lives on."""
+        return self.port.node
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self.cluster.sim.now
+
+
+def default_group(cluster: Cluster, num_ranks: Optional[int] = None, port_id: int = 2) -> List[Endpoint]:
+    """One endpoint per node on the given port id (the common layout)."""
+    n = num_ranks if num_ranks is not None else len(cluster.nodes)
+    if n > len(cluster.nodes):
+        raise ValueError(f"{n} ranks > {len(cluster.nodes)} nodes")
+    return [(node_id, port_id) for node_id in range(n)]
+
+
+def spawn_group(
+    cluster: Cluster,
+    program: Callable,
+    group: Optional[Sequence[Endpoint]] = None,
+    ports: Optional[Sequence[GmPort]] = None,
+    **kwargs,
+) -> List[Process]:
+    """Open ports (unless given) and spawn ``program`` once per rank."""
+    if group is None:
+        group = default_group(cluster)
+    group = tuple(group)
+    if ports is None:
+        ports = [cluster.open_port(node_id, port_id) for node_id, port_id in group]
+    procs = []
+    for rank, port in enumerate(ports):
+        ctx = RankContext(cluster=cluster, port=port, rank=rank, group=group)
+        procs.append(
+            cluster.spawn(program(ctx, **kwargs), name=f"rank{rank}")
+        )
+    return procs
+
+
+def run_on_group(
+    cluster: Cluster,
+    program: Callable,
+    group: Optional[Sequence[Endpoint]] = None,
+    max_events: Optional[int] = None,
+    **kwargs,
+) -> List:
+    """spawn_group + run to completion + collect program return values."""
+    procs = spawn_group(cluster, program, group=group, **kwargs)
+    cluster.run(max_events=max_events)
+    unfinished = [p.name for p in procs if p.alive]
+    if unfinished:
+        raise RuntimeError(
+            f"programs did not finish: {unfinished} "
+            f"(simulated t={cluster.sim.now:.1f}us; likely deadlock)"
+        )
+    return [p.result for p in procs]

@@ -1,0 +1,126 @@
+"""Host-based barrier baselines (the paper's comparison point).
+
+These run the same PE and GB algorithms entirely at the host over plain
+GM point-to-point messages: every intermediate message crosses the PCI
+bus twice and waits for the host's polling loop, which is precisely the
+per-step cost the NIC-based barrier eliminates (Figure 2a vs 2b).
+
+Host-side message matching: messages may arrive out of order relative to
+the algorithm's expectations (a fast peer's next-step message lands before
+the slow peer's current-step one), so events are matched by source
+endpoint + phase tag via ``GmPort.receive_where`` and its stash.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.topology_calc import dissemination_schedule, gb_plan, pe_schedule
+from repro.gm.api import GmPort
+from repro.gm.events import RecvEvent
+
+Endpoint = Tuple[int, int]
+
+#: Payload size of host barrier messages: 0 bytes, like the NIC-based
+#: barrier's logical payload (the wire still carries the header).
+_BARRIER_MSG_BYTES = 0
+
+
+def _recv_from(port: GmPort, src: Endpoint, tag: str):
+    """Wait for a barrier message from ``src`` with phase tag ``tag``."""
+    event = yield from port.receive_where(
+        lambda ev: isinstance(ev, RecvEvent)
+        and (ev.src_node, ev.src_port) == src
+        and isinstance(ev.payload, dict)
+        and ev.payload.get("tag") == tag
+    )
+    return event
+
+
+def _send_to(port: GmPort, dst: Endpoint, tag: str):
+    yield from port.send_with_callback(
+        dst_node=dst[0],
+        dst_port=dst[1],
+        size_bytes=_BARRIER_MSG_BYTES,
+        payload={"tag": tag},
+    )
+
+
+def host_barrier_pe(port: GmPort, group: Sequence[Endpoint], rank: int):
+    """Host-based pairwise-exchange barrier (MPICH pattern, Section 5.1)."""
+    schedule = pe_schedule(len(group), rank)
+    # Keep a standing pool of twice the per-barrier message count posted:
+    # one set for this barrier plus one for early arrivals from peers
+    # already running the *next* barrier (each peer can be at most one
+    # barrier ahead).  A smaller pool deadlocks: an early next-barrier
+    # message can consume the token owed to this barrier's last message,
+    # leaving the blocked rank unable to ever receive it.
+    expected = sum(1 for s in schedule if s["kind"] in ("exchange", "recv"))
+    yield from port.ensure_receive_buffers(2 * expected)
+    for step in schedule:
+        peer = group[step["peer"]]
+        if step["kind"] == "exchange":
+            yield from _send_to(port, peer, "pe")
+            yield from _recv_from(port, peer, "pe")
+        elif step["kind"] == "send":
+            yield from _send_to(port, peer, "pe")
+        else:  # recv
+            yield from _recv_from(port, peer, "pe")
+
+
+def host_barrier_dissemination(
+    port: GmPort, group: Sequence[Endpoint], rank: int
+):
+    """Host-based dissemination barrier (our algorithmic extension)."""
+    schedule = dissemination_schedule(len(group), rank)
+    yield from port.ensure_receive_buffers(2 * max(len(schedule), 1))
+    for r in schedule:
+        yield from _send_to(port, group[r["send_to"]], "dis")
+        yield from _recv_from(port, group[r["recv_from"]], "dis")
+
+
+def host_barrier_gb(
+    port: GmPort, group: Sequence[Endpoint], rank: int, dimension: int
+):
+    """Host-based gather-and-broadcast barrier over a d-ary tree.
+
+    Non-root: await gathers from all children, send gather to parent,
+    await the broadcast, then forward it to the children.  The root turns
+    the last gather around into broadcasts.  Broadcast sends are issued
+    back-to-back, which lets them pipeline through the NIC -- the effect
+    the paper credits for the host-based GB's relatively good showing.
+    """
+    plan = gb_plan(group, rank, dimension)
+    expected = len(plan.children) + (1 if plan.parent is not None else 0)
+    # Standing pool of 2x: see host_barrier_pe for the deadlock this
+    # prevents across consecutive barriers.
+    yield from port.ensure_receive_buffers(2 * expected)
+    for child in plan.children:
+        yield from _recv_from(port, child, "gather")
+    if plan.parent is not None:
+        yield from _send_to(port, plan.parent, "gather")
+        yield from _recv_from(port, plan.parent, "bcast")
+    for child in plan.children:
+        yield from _send_to(port, child, "bcast")
+
+
+def host_barrier(
+    port: GmPort,
+    group: Sequence[Endpoint],
+    rank: int,
+    algorithm: str = "pe",
+    dimension: Optional[int] = None,
+):
+    """Host-based barrier, either algorithm (host generator)."""
+    if len(group) == 1:
+        return
+    if algorithm == "pe":
+        yield from host_barrier_pe(port, group, rank)
+    elif algorithm == "dissemination":
+        yield from host_barrier_dissemination(port, group, rank)
+    elif algorithm == "gb":
+        if dimension is None:
+            dimension = 2 if len(group) > 2 else 1
+        yield from host_barrier_gb(port, group, rank, dimension)
+    else:
+        raise ValueError(f"unknown barrier algorithm {algorithm!r}")

@@ -1,0 +1,115 @@
+"""Host-based data-collective baselines (reduce / allreduce / bcast).
+
+The comparison points for the Section 8 extension: the same tree
+algorithms run entirely at the host over plain GM messages, so every
+hop pays the full Send + SDMA + Network + Recv + RDMA + HRecv path of
+Equation 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.core.nic_collectives import combine
+from repro.core.topology_calc import gb_plan
+from repro.gm.api import GmPort
+from repro.gm.events import RecvEvent
+
+Endpoint = Tuple[int, int]
+
+
+def _recv_tagged(port: GmPort, src: Endpoint, tag: str):
+    event = yield from port.receive_where(
+        lambda ev: isinstance(ev, RecvEvent)
+        and (ev.src_node, ev.src_port) == src
+        and isinstance(ev.payload, dict)
+        and ev.payload.get("tag") == tag
+    )
+    return event.payload["value"]
+
+
+def _send_tagged(port: GmPort, dst: Endpoint, tag: str, value, payload_bytes: int):
+    yield from port.send_with_callback(
+        dst_node=dst[0],
+        dst_port=dst[1],
+        size_bytes=payload_bytes,
+        payload={"tag": tag, "value": value},
+    )
+
+
+def _default_dimension(group_size: int, dimension: Optional[int]) -> int:
+    if dimension is not None:
+        return dimension
+    return 2 if group_size > 2 else 1
+
+
+def host_reduce(
+    port: GmPort,
+    group: Sequence[Endpoint],
+    rank: int,
+    value: Any,
+    op: str = "sum",
+    dimension: Optional[int] = None,
+    payload_bytes: int = 8,
+):
+    """Host-based tree reduction; returns the result at rank 0, else None."""
+    if len(group) == 1:
+        return value
+    plan = gb_plan(group, rank, _default_dimension(len(group), dimension))
+    expected = len(plan.children)
+    yield from port.ensure_receive_buffers(2 * max(expected, 1))
+    acc = value
+    for child in plan.children:
+        v = yield from _recv_tagged(port, child, "reduce")
+        acc = combine(op, acc, v)
+    if plan.parent is not None:
+        yield from _send_tagged(port, plan.parent, "reduce", acc, payload_bytes)
+        return None
+    return acc
+
+
+def host_bcast(
+    port: GmPort,
+    group: Sequence[Endpoint],
+    rank: int,
+    value: Any = None,
+    dimension: Optional[int] = None,
+    payload_bytes: int = 8,
+):
+    """Host-based tree broadcast; every rank returns the root's value."""
+    if len(group) == 1:
+        return value
+    plan = gb_plan(group, rank, _default_dimension(len(group), dimension))
+    yield from port.ensure_receive_buffers(2)
+    if plan.parent is not None:
+        value = yield from _recv_tagged(port, plan.parent, "bcast")
+    for child in plan.children:
+        yield from _send_tagged(port, child, "bcast", value, payload_bytes)
+    return value
+
+
+def host_allreduce(
+    port: GmPort,
+    group: Sequence[Endpoint],
+    rank: int,
+    value: Any,
+    op: str = "sum",
+    dimension: Optional[int] = None,
+    payload_bytes: int = 8,
+):
+    """Host-based allreduce: tree reduction then tree broadcast."""
+    if len(group) == 1:
+        return value
+    plan = gb_plan(group, rank, _default_dimension(len(group), dimension))
+    expected = len(plan.children) + (1 if plan.parent is not None else 0)
+    yield from port.ensure_receive_buffers(2 * expected)
+    acc = value
+    for child in plan.children:
+        v = yield from _recv_tagged(port, child, "reduce")
+        acc = combine(op, acc, v)
+    if plan.parent is not None:
+        yield from _send_tagged(port, plan.parent, "reduce", acc, payload_bytes)
+        acc = yield from _recv_tagged(port, plan.parent, "bcast")
+    for child in plan.children:
+        yield from _send_tagged(port, child, "bcast", acc, payload_bytes)
+    return acc

@@ -1,0 +1,69 @@
+"""GM message-passing system model (Myricom GM 1.2.3).
+
+This package models the *host-visible* half of GM -- ports, tokens,
+events, the user API -- plus the shared definitions the NIC firmware
+(:mod:`repro.nic`) needs.  Section 4.1 of the paper describes the real
+system; the correspondences are:
+
+====================  =====================================================
+GM concept            Model
+====================  =====================================================
+port                  :class:`repro.gm.port.NicPort` (NIC side) wrapped by
+                      :class:`repro.gm.api.GmPort` (host side, OS-bypass)
+send/receive tokens   :mod:`repro.gm.tokens`
+receive events        :mod:`repro.gm.events`, polled via ``GmPort.receive``
+reliable connections  :class:`repro.nic.mcp.connection.Connection`
+MCP                   :mod:`repro.nic.mcp`
+driver                :class:`repro.gm.driver.GmDriver` (open/close ports,
+                      pinned memory)
+====================  =====================================================
+"""
+
+from repro.gm.api import GmPort
+from repro.gm.constants import (
+    BARRIER_RELIABILITY_MODES,
+    FIRST_USER_PORT,
+    MAX_PORTS,
+    RESERVED_PORTS,
+    BarrierReliability,
+)
+from repro.gm.driver import GmDriver
+from repro.gm.events import (
+    BarrierCompletedEvent,
+    GmEvent,
+    RecvEvent,
+    SentEvent,
+)
+from repro.gm.memory import PinnedMemoryRegistry, PinnedRegion
+from repro.gm.onesided import (
+    ExposedRegion,
+    GetCompletedEvent,
+    OneSidedPort,
+    PutNotifyEvent,
+)
+from repro.gm.port import NicPort, PortClosedError
+from repro.gm.tokens import BarrierSendToken, ReceiveToken, SendToken
+
+__all__ = [
+    "BARRIER_RELIABILITY_MODES",
+    "BarrierCompletedEvent",
+    "BarrierReliability",
+    "BarrierSendToken",
+    "ExposedRegion",
+    "FIRST_USER_PORT",
+    "GetCompletedEvent",
+    "OneSidedPort",
+    "PutNotifyEvent",
+    "GmDriver",
+    "GmEvent",
+    "GmPort",
+    "MAX_PORTS",
+    "NicPort",
+    "PinnedMemoryRegistry",
+    "PinnedRegion",
+    "PortClosedError",
+    "ReceiveToken",
+    "RecvEvent",
+    "SendToken",
+    "SentEvent",
+]

@@ -1,0 +1,51 @@
+"""GM protocol constants and configuration enums."""
+
+from __future__ import annotations
+
+import enum
+
+#: GM 1.2.3 supports a maximum of eight ports per NIC (Section 4.1).
+MAX_PORTS = 8
+
+#: Ports reserved by GM itself (the real GM reserves 0 for the driver,
+#: 1 for the mapper and 3 for internal use; user programs get the rest).
+RESERVED_PORTS = frozenset({0, 1, 3})
+
+#: Lowest port id a user process may open.
+FIRST_USER_PORT = 2
+
+#: Default number of send tokens a freshly opened port holds.
+DEFAULT_SEND_TOKENS = 16
+
+#: Default number of receive tokens (buffers the process may post).
+DEFAULT_RECV_TOKENS = 32
+
+#: Capacity of the NIC-to-host event queue per port.
+EVENT_QUEUE_DEPTH = 128
+
+
+class BarrierReliability(enum.Enum):
+    """How barrier messages are protected against loss (Section 4.4).
+
+    The paper's implementation shipped with unreliable barrier packets and
+    sketched two completed designs; all three are implemented here.
+    """
+
+    #: Barrier packets are fire-and-forget (the paper's implemented state).
+    #: Correct only on a lossless fabric.
+    UNRELIABLE = "unreliable"
+
+    #: "have the barrier event use one token for every destination":
+    #: barrier packets travel in the regular reliable connection stream
+    #: (shared sequence numbers, ACK/NACK, go-back-N).  This also gives
+    #: in-order delivery *relative to non-barrier messages* (Section 3.3).
+    TOKEN_PER_DESTINATION = "token_per_destination"
+
+    #: "provide a separate retransmission mechanism just for barrier
+    #: messages": dedicated per-(connection, port) barrier sequence
+    #: numbers, BARRIER_ACK packets and retransmit timers.  Barrier and
+    #: non-barrier messages are then *not* mutually ordered.
+    SEPARATE = "separate"
+
+
+BARRIER_RELIABILITY_MODES = tuple(BarrierReliability)

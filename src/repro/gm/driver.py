@@ -1,0 +1,59 @@
+"""The GM driver: port lifecycle and pinned memory.
+
+"During the execution of a program the driver is used mainly for opening
+ports, pinning and unpinning memory..." (Section 4.1).  Opening a port
+triggers the NIC's closed-port barrier-record replay (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.gm.api import GmPort
+from repro.gm.constants import FIRST_USER_PORT, RESERVED_PORTS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.host.node import Node
+
+
+class GmDriver:
+    """Per-node driver instance."""
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+
+    def open_port(self, port_id: Optional[int] = None) -> GmPort:
+        """Open a port (specific id, or the first free user port)."""
+        nic = self.node.nic
+        if port_id is None:
+            for candidate in range(FIRST_USER_PORT, nic.num_ports):
+                if candidate in RESERVED_PORTS:
+                    continue
+                if not nic.port(candidate).is_open:
+                    port_id = candidate
+                    break
+            else:
+                raise RuntimeError(
+                    f"node {self.node.node_id}: no free user port"
+                )
+        if port_id in RESERVED_PORTS:
+            raise ValueError(f"port {port_id} is reserved by GM")
+        port = nic.port(port_id)
+        port.open()
+        nic.on_port_open(port_id)
+        return GmPort(self.node, nic, port_id)
+
+    def close_port(self, gm_port: GmPort) -> None:
+        """Close a port; the NIC abandons its in-flight barrier state."""
+        if gm_port.node is not self.node:
+            raise ValueError("port belongs to a different node")
+        gm_port.port.close()
+        self.node.nic.on_port_close(gm_port.port_id)
+
+    def pin(self, size_bytes: int):
+        """Pin host memory for DMA (gm_dma_malloc)."""
+        return self.node.memory.pin(size_bytes)
+
+    def unpin(self, region) -> None:
+        """Release a pinned region."""
+        self.node.memory.unpin(region)

@@ -1,0 +1,68 @@
+"""Receive-queue events delivered from the NIC to the host.
+
+The host learns about completions by polling ``gm_receive()`` which pops
+these events from the port's event queue (Section 4.1: "The process must
+poll to detect returned receive tokens"; Section 5.2: "the host polls
+gm_receive() until it receives a GM_BARRIER_COMPLETED_EVENT").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_event_ids = itertools.count(1)
+
+
+@dataclass
+class GmEvent:
+    """Base class for host-visible events."""
+
+    port_id: int
+    event_id: int = field(default_factory=lambda: next(_event_ids), init=False)
+    #: Simulated time the NIC posted the event into the queue.
+    posted_at: Optional[float] = field(default=None, init=False)
+
+
+@dataclass
+class RecvEvent(GmEvent):
+    """A message arrived and was DMAed into a posted receive buffer
+    (GM_RECV_EVENT)."""
+
+    src_node: int = 0
+    src_port: int = 0
+    size_bytes: int = 0
+    payload: Any = None
+
+
+@dataclass
+class SentEvent(GmEvent):
+    """A send token came back: the message was delivered and acknowledged
+    (GM's send-completion callback trigger)."""
+
+    token_id: int = 0
+    dst_node: int = 0
+    dst_port: int = 0
+
+
+@dataclass
+class BarrierCompletedEvent(GmEvent):
+    """The NIC-based barrier on this port completed
+    (GM_BARRIER_COMPLETED_EVENT, Section 5.2)."""
+
+    barrier_seq: int = 0
+    #: Simulated time the NIC decided the barrier was complete (before the
+    #: completion-notification DMA); used for latency decomposition.
+    nic_complete_time: Optional[float] = None
+
+
+@dataclass
+class CollectiveCompletedEvent(GmEvent):
+    """A NIC-based data collective (reduce / allreduce / bcast) completed
+    on this port; carries the result value (our Section 8 extension)."""
+
+    coll_seq: int = 0
+    kind: str = ""
+    result: Any = None
+    nic_complete_time: Optional[float] = None

@@ -1,0 +1,87 @@
+"""Pinned (DMA-able) host memory bookkeeping.
+
+GM requires that messages be sent from and received into memory pinned by
+its special allocation functions (Section 4.1: "Messages may only be sent
+from and received into buffers which are pinned in memory").  We model
+pinning as a registry so the API layer can enforce the rule and tests can
+exercise the failure mode; actual data movement is carried as opaque
+payloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_region_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class PinnedRegion:
+    """A pinned buffer handle."""
+
+    size_bytes: int
+    node_id: int
+    region_id: int = field(default_factory=lambda: next(_region_ids))
+
+
+class NotPinnedError(Exception):
+    """A DMA was attempted on memory that is not pinned."""
+
+
+class PinnedMemoryRegistry:
+    """Tracks pinned regions per node, with an optional total cap.
+
+    The cap models the physical-memory pressure of pinning (the testbed
+    machines had 128 MB of RAM); exceeding it raises, as ``gm_dma_malloc``
+    would fail.
+    """
+
+    def __init__(self, node_id: int, max_pinned_bytes: int | None = None) -> None:
+        self.node_id = node_id
+        self.max_pinned_bytes = max_pinned_bytes
+        self._regions: dict[int, PinnedRegion] = {}
+        self.pinned_bytes = 0
+
+    def pin(self, size_bytes: int) -> PinnedRegion:
+        """Pin ``size_bytes`` of host memory; raises MemoryError at the cap."""
+        if size_bytes <= 0:
+            raise ValueError("pinned region must have positive size")
+        if (
+            self.max_pinned_bytes is not None
+            and self.pinned_bytes + size_bytes > self.max_pinned_bytes
+        ):
+            raise MemoryError(
+                f"node {self.node_id}: pinning {size_bytes} B exceeds cap "
+                f"({self.pinned_bytes}/{self.max_pinned_bytes} B in use)"
+            )
+        region = PinnedRegion(size_bytes=size_bytes, node_id=self.node_id)
+        self._regions[region.region_id] = region
+        self.pinned_bytes += size_bytes
+        return region
+
+    def unpin(self, region: PinnedRegion) -> None:
+        """Unpin a region previously returned by :meth:`pin`."""
+        if self._regions.pop(region.region_id, None) is None:
+            raise KeyError(f"region {region.region_id} is not pinned")
+        self.pinned_bytes -= region.size_bytes
+
+    def is_pinned(self, region: PinnedRegion) -> bool:
+        """Whether the region is currently pinned on this node."""
+        return region.region_id in self._regions
+
+    def check(self, region: PinnedRegion, size_bytes: int) -> None:
+        """Validate a DMA target: pinned, on this node, large enough."""
+        if not self.is_pinned(region):
+            raise NotPinnedError(
+                f"region {region.region_id} is not pinned on node {self.node_id}"
+            )
+        if region.node_id != self.node_id:
+            raise NotPinnedError(
+                f"region {region.region_id} belongs to node {region.node_id}, "
+                f"not node {self.node_id}"
+            )
+        if size_bytes > region.size_bytes:
+            raise ValueError(
+                f"DMA of {size_bytes} B exceeds region size {region.size_bytes} B"
+            )

@@ -1,0 +1,305 @@
+"""Send and receive tokens.
+
+Tokens are GM's flow-control currency between host and NIC (Section 4.1):
+the host fills in a send token and queues it to the NIC; the NIC hands it
+back when the send completes.  Receive tokens describe host buffers the
+NIC may DMA incoming messages into.
+
+The barrier extension (Section 4.2) reuses the send-token structure: a
+:class:`BarrierSendToken` carries the list of node/port ids to exchange
+with plus the ``node_index`` cursor, and the NIC keeps a pointer to it in
+the port data structure while the barrier is in flight.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.packet import PacketType
+
+_token_ids = itertools.count(1)
+
+
+@dataclass
+class SendToken:
+    """A host-initiated send event.
+
+    Attributes
+    ----------
+    src_port:
+        Port id the send originates from.
+    dst_node, dst_port:
+        Destination endpoint.
+    size_bytes:
+        Payload size; drives SDMA/wire/RDMA timing.
+    payload:
+        Opaque message body carried through the simulation.
+    callback:
+        Host-side completion callback, invoked (by the host process, in
+        host time) when the NIC returns the token.
+    """
+
+    src_port: int
+    dst_node: int
+    dst_port: int
+    size_bytes: int = 0
+    payload: Any = None
+    callback: Optional[Callable[["SendToken"], None]] = None
+    token_id: int = field(default_factory=lambda: next(_token_ids))
+    #: Regular-stream sequence number, assigned by SDMA at prepare time.
+    seqno: Optional[int] = None
+    #: Simulated time the host queued the token (for traces/latency tests).
+    queued_at: Optional[float] = None
+    #: Wire packet type: DATA for ordinary sends; the one-sided layer
+    #: sends PUT / GET_REQ through the same reliable path.
+    wire_type: Optional["PacketType"] = None
+
+    @property
+    def is_barrier(self) -> bool:
+        """Dispatch flag: ordinary sends are not barrier tokens."""
+        return False
+
+    @property
+    def is_collective(self) -> bool:
+        """Dispatch flag: ordinary sends are not collective tokens."""
+        return False
+
+    @property
+    def is_multicast(self) -> bool:
+        """Dispatch flag: ordinary sends have one destination."""
+        return False
+
+
+@dataclass
+class MulticastSendToken:
+    """A NIC-assisted multidestination send.
+
+    Models the authors' prior work the paper cites as [2] (Buntinas,
+    Panda, Duato, Sadayappan, CANPC 2000): the host queues *one* token
+    with a destination list; the NIC DMAs the payload once and
+    replicates the packet to every destination, so the host pays one
+    send initiation instead of k.  The token returns when every
+    destination's packet is acknowledged.
+    """
+
+    src_port: int
+    destinations: List["Endpoint"] = field(default_factory=list)
+    size_bytes: int = 0
+    payload: Any = None
+    token_id: int = field(default_factory=lambda: next(_token_ids))
+    queued_at: Optional[float] = None
+    #: Acknowledgments still outstanding; set by SDMA at fan-out time.
+    remaining_acks: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.destinations:
+            raise ValueError("multicast needs at least one destination")
+        if len(set(self.destinations)) != len(self.destinations):
+            raise ValueError("duplicate multicast destinations")
+
+    @property
+    def is_barrier(self) -> bool:
+        """Dispatch flag: multicast is not a barrier token."""
+        return False
+
+    @property
+    def is_collective(self) -> bool:
+        """Dispatch flag: multicast is not a collective token."""
+        return False
+
+    @property
+    def is_multicast(self) -> bool:
+        """Dispatch flag: SDMA fans this token out to every destination."""
+        return True
+
+
+#: An endpoint is a (node_id, port_id) pair.
+Endpoint = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PeStep:
+    """One PE step: exchange with ``peer``.
+
+    For power-of-two groups every step is a full exchange (``send`` and
+    ``recv`` both True), exactly the paper's send-followed-by-receive.
+    Non-power-of-two groups (MPICH extension) additionally use send-only
+    (the extra rank's notification / the proxy's release) and recv-only
+    steps, which a symmetric exchange engine cannot express without
+    releasing the extra rank early.
+    """
+
+    peer: Endpoint
+    send: bool = True
+    recv: bool = True
+
+    def __post_init__(self) -> None:
+        if not (self.send or self.recv):
+            raise ValueError("a PE step must send, receive, or both")
+
+
+@dataclass
+class BarrierSendToken:
+    """Send token initiating a NIC-based barrier on one port.
+
+    For the **PE** algorithm, ``steps`` is the ordered list of exchange
+    steps and ``node_index`` walks it (Section 4.2: "The token will
+    store a list of the port ids and node ids with which barrier messages
+    will be exchanged, as well as an index, node index, into this list").
+
+    For the **GB** algorithm, ``parent`` is the endpoint to send the gather
+    to (``None`` at the root) and ``children`` the endpoints to collect
+    gathers from / broadcast to, in order.
+    """
+
+    src_port: int
+    algorithm: str  # "pe" or "gb"
+    #: PE: step list, walked by node_index.
+    steps: List[PeStep] = field(default_factory=list)
+    node_index: int = 0
+    #: PE: True once the packet to peers[node_index] has been prepared and
+    #: the record checked, i.e. we are parked waiting for the reception.
+    awaiting_recv: bool = False
+    #: GB: tree neighborhood.
+    parent: Optional[Endpoint] = None
+    children: List[Endpoint] = field(default_factory=list)
+    #: GB: children whose gather message has not yet been consumed.
+    gather_pending: set = field(default_factory=set)
+    #: GB: index of the next child to broadcast to.
+    bcast_index: int = 0
+    #: GB: current phase, "gather" -> "bcast" -> "done".
+    phase: str = "gather"
+    #: Identifies the barrier instance for tracing and reliability.
+    barrier_seq: int = 0
+    #: Port generation at initiation; a REJECT-triggered resend happens
+    #: "only if the endpoint that initiated the barrier has not closed
+    #: since the message was sent" (Section 3.2) -- i.e. only while the
+    #: port's generation still matches.
+    owner_generation: int = 0
+    token_id: int = field(default_factory=lambda: next(_token_ids))
+    queued_at: Optional[float] = None
+    #: Endpoints we have transmitted a barrier packet to (with the packet
+    #: type used), kept for closed-port REJECT retransmission.
+    sent_to: List[Tuple[Endpoint, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("pe", "gb"):
+            raise ValueError(f"unknown barrier algorithm {self.algorithm!r}")
+        if self.algorithm == "gb":
+            self.gather_pending = set(self.children)
+
+    @property
+    def is_barrier(self) -> bool:
+        """Dispatch flag: SDMA routes this token to the barrier engine."""
+        return True
+
+    @property
+    def is_collective(self) -> bool:
+        """Dispatch flag (mutually exclusive with is_barrier)."""
+        return False
+
+    @property
+    def is_multicast(self) -> bool:
+        """Dispatch flag: barrier tokens are not multicast."""
+        return False
+
+    @property
+    def current_step(self) -> "PeStep":
+        """PE: the step currently in progress."""
+        return self.steps[self.node_index]
+
+    @property
+    def current_peer(self) -> Endpoint:
+        """PE: the endpoint currently being exchanged with."""
+        return self.steps[self.node_index].peer
+
+    @property
+    def is_root(self) -> bool:
+        """GB: True at the root of the tree."""
+        return self.parent is None
+
+
+@dataclass
+class CollectiveSendToken:
+    """Send token initiating a NIC-based data collective on one port.
+
+    Our implementation of the paper's Section 8 future work ("whether
+    other collective communication operations, such as reductions or
+    all-to-all broadcast could benefit from similar NIC-level
+    implementations").  Uses the GB tree machinery with values: reduce
+    combines contributions up the tree, bcast pushes the root's value
+    down, allreduce does both.
+    """
+
+    src_port: int
+    kind: str  # "reduce" | "allreduce" | "bcast"
+    op: str = "sum"  # "sum" | "prod" | "min" | "max"
+    #: This rank's contribution (reduce/allreduce) or the root's value
+    #: (bcast; ignored at non-roots).
+    value: Any = None
+    #: Payload size on the wire per collective message.
+    payload_bytes: int = 8
+    parent: Optional[Endpoint] = None
+    children: List[Endpoint] = field(default_factory=list)
+    #: Children whose reduction message has not yet been consumed.
+    reduce_pending: set = field(default_factory=set)
+    #: Running combined value during the reduction phase.
+    accumulator: Any = None
+    #: Index of the next child to broadcast to.
+    bcast_index: int = 0
+    #: "reduce" -> ("await_result" | "bcast") -> "done"; bcast-kind
+    #: tokens start in "bcast" at the root / "await_value" below it.
+    phase: str = "reduce"
+    #: Final value delivered with the completion event.
+    result: Any = None
+    coll_seq: int = 0
+    owner_generation: int = 0
+    token_id: int = field(default_factory=lambda: next(_token_ids))
+    queued_at: Optional[float] = None
+    sent_to: List[Tuple[Endpoint, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("reduce", "allreduce", "bcast"):
+            raise ValueError(f"unknown collective kind {self.kind!r}")
+        if self.kind in ("reduce", "allreduce"):
+            if self.op not in ("sum", "prod", "min", "max"):
+                raise ValueError(f"unknown reduction op {self.op!r}")
+            self.reduce_pending = set(self.children)
+            self.accumulator = self.value
+            self.phase = "reduce"
+        else:
+            self.phase = "bcast" if self.parent is None else "await_value"
+
+    @property
+    def is_barrier(self) -> bool:
+        """Dispatch flag (mutually exclusive with is_collective)."""
+        return False
+
+    @property
+    def is_collective(self) -> bool:
+        """Dispatch flag: SDMA routes this to the collective engine."""
+        return True
+
+    @property
+    def is_multicast(self) -> bool:
+        """Dispatch flag: collective tokens are not multicast."""
+        return False
+
+    @property
+    def is_root(self) -> bool:
+        """True at the root of the collective tree."""
+        return self.parent is None
+
+
+@dataclass
+class ReceiveToken:
+    """A host buffer the NIC may deliver one message into."""
+
+    port_id: int
+    size_bytes: int
+    token_id: int = field(default_factory=lambda: next(_token_ids))
+    #: Set when the NIC consumed this token for an arriving message.
+    used: bool = False

@@ -1,0 +1,12 @@
+"""Host-side model: CPU cost parameters, nodes, application processes.
+
+The testbed hosts were dual 300 MHz Pentium II machines; what matters for
+the barrier comparison is the per-message host overhead (the ``Send`` and
+``HRecv`` terms of Equations 1--2) and the polling delay of ``gm_receive``,
+which :class:`~repro.host.cpu.HostParams` captures.
+"""
+
+from repro.host.cpu import HostParams
+from repro.host.node import Node
+
+__all__ = ["HostParams", "Node"]

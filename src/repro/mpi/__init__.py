@@ -1,0 +1,28 @@
+"""A minimal MPI-like layer over GM.
+
+The paper expects (Sections 1, 2.2 and 8) that "the factor of improvement
+will increase if an additional programming layer, such as MPI, is added
+over GM because of the additional overhead the layer adds to each message
+sent or received" -- its companion paper [4] evaluates exactly that with
+MPICH over GM.  This package is a small MPI-flavoured layer that makes
+the claim testable here:
+
+* :class:`~repro.mpi.communicator.Communicator` wraps a GM port with
+  ranks, tag matching, and the usual calls: ``send`` / ``recv`` /
+  ``sendrecv`` / ``barrier`` / ``bcast`` / ``reduce`` / ``allreduce`` /
+  ``gather`` / ``scatter``;
+* every MPI call pays a per-call host overhead, and every message sent
+  or received through the layer pays a per-message overhead
+  (:class:`~repro.mpi.communicator.MpiParams`) -- so a host-based
+  ``barrier`` pays the layer cost per step while the NIC-based one pays
+  it once, which is precisely the paper's argument.
+"""
+
+from repro.mpi.communicator import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    MpiParams,
+)
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator", "MpiParams"]

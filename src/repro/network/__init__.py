@@ -1,0 +1,44 @@
+"""Myrinet-like network fabric.
+
+Models the testbed interconnect of the paper: NICs attached through
+full-duplex links to cut-through (wormhole) crossbar switches, with
+source routing exactly as Myrinet does (the packet header carries one
+route byte per switch hop, consumed at each switch).
+
+Granularity note: we model packets, not flits.  A link channel holds a
+packet for its serialization time (so back-to-back packets queue) and the
+packet arrives at the other end after ``serialization + propagation``;
+a switch adds a fixed cut-through routing delay and output-port
+contention.  For the <= 32-byte barrier packets of this paper, flit-level
+wormhole and packet-level cut-through are indistinguishable (serialization
+is ~0.1 us at 1.28 Gb/s), while output contention -- the effect that can
+actually perturb a barrier -- is modelled exactly.
+"""
+
+from repro.network.fabric import Network
+from repro.network.link import Channel, Link
+from repro.network.packet import Packet, PacketType
+from repro.network.routing import compute_route
+from repro.network.switch import CrossbarSwitch
+from repro.network.topology import (
+    LinkSpec,
+    SwitchSpec,
+    Topology,
+    multi_switch_topology,
+    single_switch_topology,
+)
+
+__all__ = [
+    "Channel",
+    "CrossbarSwitch",
+    "Link",
+    "LinkSpec",
+    "Network",
+    "Packet",
+    "PacketType",
+    "SwitchSpec",
+    "Topology",
+    "compute_route",
+    "multi_switch_topology",
+    "single_switch_topology",
+]

@@ -1,0 +1,148 @@
+"""Links and unidirectional channels.
+
+A :class:`Link` is a full-duplex Myrinet cable: two independent
+:class:`Channel` objects, one per direction, matching the paper's
+assumption that "NICs have separate receive and transmit channels to the
+network, so that one message can be received while another is being
+transmitted" (Section 2.2, footnote 1).
+
+A channel transmits one packet at a time.  ``serialization = size /
+bandwidth`` occupies the channel; the packet is delivered to the sink
+``serialization + propagation`` after transmission starts.  Bandwidth is
+in MB/s which, with microsecond time units, conveniently equals bytes/us.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Protocol
+
+from repro.network.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class PacketSink(Protocol):
+    """Anything that can accept a fully-arrived packet."""
+
+    def receive_packet(self, packet: Packet) -> None:
+        """Accept a fully-arrived packet."""
+        ...
+
+
+class Channel:
+    """One direction of a link: FIFO, one packet on the wire at a time.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    bandwidth_mbps:
+        Bandwidth in MB/s (= bytes per microsecond).
+    propagation_us:
+        Cable propagation delay in microseconds.
+    name:
+        Label for traces.
+
+    The ``sink`` (set via :meth:`connect`) receives the packet when its
+    tail arrives.  An optional ``loss_filter`` may drop packets (used by
+    the reliability tests); dropped packets still occupy the channel for
+    their serialization time, as a corrupted packet would.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_mbps: float,
+        propagation_us: float,
+        name: str = "",
+    ) -> None:
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if propagation_us < 0:
+            raise ValueError("propagation must be >= 0")
+        self.sim = sim
+        self.bandwidth_mbps = bandwidth_mbps
+        self.propagation_us = propagation_us
+        self.name = name
+        self.sink: Optional[PacketSink] = None
+        self.loss_filter: Optional[Callable[[Packet], bool]] = None
+        self._queue: Deque[Packet] = deque()
+        self._busy = False
+        #: Counters for tests and utilization reporting.
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+
+    def connect(self, sink: PacketSink) -> None:
+        """Attach the delivery target at the far end."""
+        self.sink = sink
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Enqueue ``packet`` for transmission (returns immediately)."""
+        if self.sink is None:
+            raise RuntimeError(f"channel {self.name!r} has no sink connected")
+        self._queue.append(packet)
+        if not self._busy:
+            self._start_next()
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets queued or on the wire."""
+        return len(self._queue) + (1 if self._busy else 0)
+
+    def serialization_time(self, packet: Packet) -> float:
+        """Wire occupancy time for one packet."""
+        return packet.size_bytes / self.bandwidth_mbps
+
+    # ------------------------------------------------------------------
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue.popleft()
+        ser = self.serialization_time(packet)
+        dropped = self.loss_filter is not None and self.loss_filter(packet)
+        if dropped:
+            self.packets_dropped += 1
+        else:
+            self.packets_sent += 1
+            self.bytes_sent += packet.size_bytes
+            self.sim.schedule(
+                ser + self.propagation_us, self._deliver, packet
+            )
+        # Channel frees up when the tail leaves the transmitter.
+        self.sim.schedule(ser, self._tx_done)
+
+    def _deliver(self, packet: Packet) -> None:
+        assert self.sink is not None
+        self.sink.receive_packet(packet)
+
+    def _tx_done(self) -> None:
+        self._busy = False
+        self._start_next()
+
+
+class Link:
+    """A full-duplex cable between two attachment points.
+
+    ``a_to_b`` and ``b_to_a`` are independent channels.  Callers attach
+    sinks with :meth:`connect`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_mbps: float,
+        propagation_us: float,
+        name: str = "",
+    ) -> None:
+        self.name = name
+        self.a_to_b = Channel(sim, bandwidth_mbps, propagation_us, name=f"{name}:a->b")
+        self.b_to_a = Channel(sim, bandwidth_mbps, propagation_us, name=f"{name}:b->a")
+
+    def connect(self, sink_at_a: PacketSink, sink_at_b: PacketSink) -> None:
+        """Attach the receive sinks at each end."""
+        self.a_to_b.connect(sink_at_b)
+        self.b_to_a.connect(sink_at_a)

@@ -1,0 +1,83 @@
+"""Source-route computation.
+
+Myrinet packets carry their route as a list of switch output ports, one
+per hop, consumed front-first.  Given a :class:`~repro.network.topology.Topology`
+we BFS over the switch graph from the source NIC's switch to the
+destination NIC's switch and emit the output-port sequence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.network.topology import Topology
+
+
+def _switch_graph(topo: Topology) -> Dict[int, List[Tuple[int, int]]]:
+    """Adjacency: switch -> list of (neighbor_switch, local_output_port)."""
+    adj: Dict[int, List[Tuple[int, int]]] = {s.switch_id: [] for s in topo.switches}
+    for t in topo.trunks:
+        adj[t.switch_a].append((t.switch_b, t.port_a))
+        adj[t.switch_b].append((t.switch_a, t.port_b))
+    return adj
+
+
+def compute_route(topo: Topology, src_nic: int, dst_nic: int) -> List[int]:
+    """Output-port sequence from ``src_nic`` to ``dst_nic``.
+
+    The first element is consumed by the switch the source NIC is cabled
+    to, and so on; the last element is the port the destination NIC hangs
+    off.  Routing a packet to the NIC's own switch port (src == dst) is
+    legal -- Myrinet happily hairpins -- and yields a single-element route.
+    """
+    try:
+        src_switch, _ = topo.nic_attachments[src_nic]
+    except KeyError:
+        raise ValueError(f"unknown source NIC {src_nic}") from None
+    try:
+        dst_switch, dst_port = topo.nic_attachments[dst_nic]
+    except KeyError:
+        raise ValueError(f"unknown destination NIC {dst_nic}") from None
+
+    if src_switch == dst_switch:
+        return [dst_port]
+
+    adj = _switch_graph(topo)
+    # BFS for the switch-level path.
+    prev: Dict[int, Tuple[int, int]] = {}  # switch -> (prev_switch, out_port_at_prev)
+    seen = {src_switch}
+    queue = deque([src_switch])
+    while queue:
+        cur = queue.popleft()
+        if cur == dst_switch:
+            break
+        for neighbor, out_port in adj[cur]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                prev[neighbor] = (cur, out_port)
+                queue.append(neighbor)
+    if dst_switch not in seen:
+        raise ValueError(
+            f"no path from NIC {src_nic} (switch {src_switch}) "
+            f"to NIC {dst_nic} (switch {dst_switch})"
+        )
+
+    # Walk back from destination to source collecting output ports.
+    hops: List[int] = []
+    cur = dst_switch
+    while cur != src_switch:
+        p, out_port = prev[cur]
+        hops.append(out_port)
+        cur = p
+    hops.reverse()
+    hops.append(dst_port)
+    return hops
+
+
+def build_route_table(topo: Topology) -> Dict[Tuple[int, int], List[int]]:
+    """Precompute routes for every ordered NIC pair (used by the fabric)."""
+    nics = sorted(topo.nic_attachments)
+    return {
+        (a, b): compute_route(topo, a, b) for a in nics for b in nics if a != b
+    }

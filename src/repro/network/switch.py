@@ -1,0 +1,100 @@
+"""Cut-through crossbar switch.
+
+Myrinet switches are source-routed wormhole crossbars: the head of the
+packet carries one route byte per hop; the switch reads it, claims the
+requested output port, and streams the packet through.  We model this as:
+
+* a fixed ``routing_delay`` between head arrival and the packet entering
+  the output channel (the cut-through latency, ~0.3-0.5 us on the
+  Myrinet-LAN switches of the era);
+* per-output-port FIFO contention via the output :class:`Channel`'s
+  one-packet-at-a-time serialization.
+
+Routing decisions for distinct packets proceed in parallel (a crossbar
+has per-port route logic), so there is no shared "switch CPU" resource.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.network.link import Channel, PacketSink
+from repro.network.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class _SwitchInput:
+    """Receive sink for one switch port; forwards into the crossbar."""
+
+    __slots__ = ("switch", "port_index")
+
+    def __init__(self, switch: "CrossbarSwitch", port_index: int) -> None:
+        self.switch = switch
+        self.port_index = port_index
+
+    def receive_packet(self, packet: Packet) -> None:
+        self.switch._route(packet, self.port_index)
+
+
+class CrossbarSwitch:
+    """An N-port cut-through crossbar.
+
+    Ports are wired with :meth:`attach`: the caller supplies the outgoing
+    channel for a port (towards whatever is cabled there) and receives the
+    sink object to connect as that cable's delivery target.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_ports: int,
+        routing_delay_us: float = 0.35,
+        switch_id: int = 0,
+        name: str = "",
+    ) -> None:
+        if num_ports <= 0:
+            raise ValueError("switch needs at least one port")
+        self.sim = sim
+        self.num_ports = num_ports
+        self.routing_delay_us = routing_delay_us
+        self.switch_id = switch_id
+        self.name = name or f"switch{switch_id}"
+        self._outputs: Dict[int, Channel] = {}
+        self._inputs: Dict[int, _SwitchInput] = {}
+        #: Counters for tests.
+        self.packets_routed = 0
+        self.packets_dead_ended = 0
+
+    def attach(self, port_index: int, output_channel: Channel) -> PacketSink:
+        """Wire ``port_index``: packets routed to it leave on
+        ``output_channel``; the returned sink accepts packets arriving on
+        this port."""
+        if not 0 <= port_index < self.num_ports:
+            raise ValueError(
+                f"port {port_index} out of range for {self.num_ports}-port switch"
+            )
+        if port_index in self._outputs:
+            raise ValueError(f"{self.name} port {port_index} already attached")
+        self._outputs[port_index] = output_channel
+        sink = _SwitchInput(self, port_index)
+        self._inputs[port_index] = sink
+        return sink
+
+    def output_channel(self, port_index: int) -> Optional[Channel]:
+        """The channel cabled to a port, if attached."""
+        return self._outputs.get(port_index)
+
+    # ------------------------------------------------------------------
+    def _route(self, packet: Packet, in_port: int) -> None:
+        out_port = packet.hop()
+        channel = self._outputs.get(out_port)
+        if channel is None:
+            # A packet routed to an uncabled port is silently dropped by
+            # real Myrinet hardware; count it so tests can assert on it.
+            self.packets_dead_ended += 1
+            return
+        self.packets_routed += 1
+        self.sim.schedule(self.routing_delay_us, channel.send, packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.name} ports={self.num_ports} attached={len(self._outputs)}>"

@@ -1,0 +1,177 @@
+"""Topology descriptions and builders.
+
+A :class:`Topology` is a pure description (no simulator objects): a set of
+switches, the cabling between them, and where each NIC attaches.  The
+:class:`~repro.network.fabric.Network` instantiates it.
+
+Builders:
+
+* :func:`single_switch_topology` -- the paper's testbed: every NIC on one
+  crossbar (8-port for the LANai 7.2 system, 16-port for the LANai 4.3
+  system).
+* :func:`multi_switch_topology` -- a tree of fixed-radix switches for the
+  scaling extrapolation beyond one switch (Section 8 / our extension
+  bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """One switch: id and port count."""
+
+    switch_id: int
+    num_ports: int
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A cable between two switch ports (inter-switch trunk)."""
+
+    switch_a: int
+    port_a: int
+    switch_b: int
+    port_b: int
+
+
+@dataclass
+class Topology:
+    """Switches + trunks + NIC attachment points.
+
+    ``nic_attachments[nic_id] = (switch_id, port_index)``.
+    """
+
+    switches: List[SwitchSpec] = field(default_factory=list)
+    trunks: List[LinkSpec] = field(default_factory=list)
+    nic_attachments: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def num_nics(self) -> int:
+        """Number of NIC attachment points."""
+        return len(self.nic_attachments)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent cabling."""
+        ports = {s.switch_id: s.num_ports for s in self.switches}
+        if len(ports) != len(self.switches):
+            raise ValueError("duplicate switch ids")
+        used: set = set()
+
+        def claim(switch_id: int, port: int, what: str) -> None:
+            if switch_id not in ports:
+                raise ValueError(f"{what} references unknown switch {switch_id}")
+            if not 0 <= port < ports[switch_id]:
+                raise ValueError(
+                    f"{what} uses port {port} out of range on switch {switch_id}"
+                )
+            key = (switch_id, port)
+            if key in used:
+                raise ValueError(f"switch {switch_id} port {port} cabled twice")
+            used.add(key)
+
+        for t in self.trunks:
+            claim(t.switch_a, t.port_a, "trunk")
+            claim(t.switch_b, t.port_b, "trunk")
+        for nic_id, (sw, port) in self.nic_attachments.items():
+            claim(sw, port, f"nic {nic_id}")
+
+
+def single_switch_topology(num_nics: int, num_ports: int | None = None) -> Topology:
+    """All NICs on one crossbar, NIC ``i`` at port ``i``.
+
+    ``num_ports`` defaults to the smallest power of two >= ``num_nics``
+    with a floor of 8 (Myrinet LAN switches came in 4/8/16-port variants).
+    """
+    if num_nics < 1:
+        raise ValueError("need at least one NIC")
+    if num_ports is None:
+        num_ports = 8
+        while num_ports < num_nics:
+            num_ports *= 2
+    if num_ports < num_nics:
+        raise ValueError(
+            f"{num_nics} NICs do not fit a {num_ports}-port switch"
+        )
+    topo = Topology(
+        switches=[SwitchSpec(0, num_ports)],
+        nic_attachments={i: (0, i) for i in range(num_nics)},
+    )
+    topo.validate()
+    return topo
+
+
+def multi_switch_topology(num_nics: int, switch_radix: int = 16) -> Topology:
+    """A tree of ``switch_radix``-port switches hosting ``num_nics`` NICs.
+
+    Leaf switches carry up to ``radix - 1`` NICs plus one uplink; interior
+    switches carry up to ``radix - 1`` downlinks plus one uplink; the root
+    uses all ``radix`` ports for downlinks.  Falls back to a single switch
+    when everything fits on one.
+    """
+    if num_nics < 1:
+        raise ValueError("need at least one NIC")
+    if switch_radix < 3:
+        raise ValueError("switch radix must be >= 3 for a tree")
+    if num_nics <= switch_radix:
+        return single_switch_topology(num_nics, num_ports=switch_radix)
+
+    switches: List[SwitchSpec] = []
+    trunks: List[LinkSpec] = []
+    attachments: Dict[int, Tuple[int, int]] = {}
+    next_switch_id = 0
+
+    def new_switch() -> int:
+        nonlocal next_switch_id
+        sid = next_switch_id
+        next_switch_id += 1
+        switches.append(SwitchSpec(sid, switch_radix))
+        return sid
+
+    # Level 0: leaf switches, each with up to radix-1 NICs on ports 1..,
+    # port 0 reserved for the uplink.
+    per_leaf = switch_radix - 1
+    leaves: List[int] = []
+    nic = 0
+    while nic < num_nics:
+        sid = new_switch()
+        leaves.append(sid)
+        for slot in range(per_leaf):
+            if nic >= num_nics:
+                break
+            attachments[nic] = (sid, slot + 1)
+            nic += 1
+
+    # Build upper levels until one root remains.  Interior switches use
+    # port 0 as their own uplink and ports 1.. for downlinks; the final
+    # root may also use port 0 as a downlink.
+    level = leaves
+    while len(level) > 1:
+        parents: List[int] = []
+        per_parent = switch_radix - 1
+        # If this round will produce the root, it can use all its ports.
+        if len(level) <= switch_radix:
+            per_parent = switch_radix
+        for chunk_start in range(0, len(level), per_parent):
+            chunk = level[chunk_start : chunk_start + per_parent]
+            pid = new_switch()
+            parents.append(pid)
+            is_root_round = per_parent == switch_radix
+            first_down = 0 if is_root_round else 1
+            for i, child in enumerate(chunk):
+                trunks.append(
+                    LinkSpec(
+                        switch_a=pid,
+                        port_a=first_down + i,
+                        switch_b=child,
+                        port_b=0,
+                    )
+                )
+        level = parents
+
+    topo = Topology(switches=switches, trunks=trunks, nic_attachments=attachments)
+    topo.validate()
+    return topo

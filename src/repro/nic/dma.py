@@ -1,0 +1,64 @@
+"""DMA engines and the shared PCI bus.
+
+The LANai has two DMA engines -- host-to-SRAM (used by the SDMA state
+machine) and SRAM-to-host (used by RDMA) -- but they share one PCI bus, so
+concurrent transfers serialize.  A transfer costs:
+
+* ``dma_setup`` NIC-processor cycles to program the engine (charged by the
+  calling state machine against the NIC CPU, not here);
+* bus acquisition (FIFO under contention);
+* ``pci_setup_us`` of bus-transaction overhead plus ``bytes /
+  pci_bandwidth_mbps`` of data movement.
+
+Zero-byte transfers (barrier initiation tokens, completion notifications)
+still pay the bus-transaction overhead, which is why the paper's ``Send``
+and ``RDMA`` terms are nonzero even for empty messages.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.primitives import Resource, Timeout
+
+
+class DmaEngine:
+    """One directional DMA engine attached to a shared PCI bus."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pci_bus: Resource,
+        pci_bandwidth_mbps: float,
+        pci_setup_us: float,
+        name: str = "",
+    ) -> None:
+        if pci_bandwidth_mbps <= 0:
+            raise ValueError("PCI bandwidth must be positive")
+        if pci_setup_us < 0:
+            raise ValueError("PCI setup time must be >= 0")
+        self.sim = sim
+        self.pci_bus = pci_bus
+        self.pci_bandwidth_mbps = pci_bandwidth_mbps
+        self.pci_setup_us = pci_setup_us
+        self.name = name
+        self.transfers = 0
+        self.bytes_moved = 0
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Bus-occupancy time for a transfer of ``size_bytes``."""
+        return self.pci_setup_us + size_bytes / self.pci_bandwidth_mbps
+
+    def transfer(self, size_bytes: int):
+        """Generator: perform one DMA, holding the PCI bus for its duration.
+
+        Usage from a state machine: ``yield from engine.transfer(n)``.
+        """
+        if size_bytes < 0:
+            raise ValueError("negative DMA size")
+        yield self.pci_bus.request()
+        try:
+            yield Timeout(self.transfer_time(size_bytes))
+            self.transfers += 1
+            self.bytes_moved += size_bytes
+        finally:
+            self.pci_bus.release()

@@ -1,0 +1,37 @@
+"""The Myrinet Control Program (MCP) firmware model.
+
+Figure 4 of the paper: four state machines -- SDMA, SEND, RECV, RDMA --
+run on the NIC processor.  Here each is a simulation process; they share
+the single NIC-CPU :class:`~repro.sim.primitives.Resource`, so activity in
+one machine delays the others exactly as on the real 33/66 MHz LANai.
+
+Work flows between machines through stores:
+
+.. code-block:: text
+
+    host --(send tokens)--> sdma_inbox --> [SDMA] --> send_queue --> [SEND] --> wire
+    wire --> recv_queue --> [RECV] --> rdma_queue --> [RDMA] --(events)--> host
+                                   \\--> send_queue (ACK/NACK via RDMA prep)
+
+The barrier extension (Section 5.2) hooks SDMA (barrier token processing,
+packet preparation, post-prepare record check) and RDMA (record/advance
+on reception, completion notification); the hook logic itself lives in
+:mod:`repro.core.nic_barrier` because it is the paper's contribution.
+"""
+
+from repro.nic.mcp.connection import Connection, UnexpectedRecord
+from repro.nic.mcp.machine import StateMachine
+from repro.nic.mcp.rdma import RdmaMachine
+from repro.nic.mcp.recv import RecvMachine
+from repro.nic.mcp.sdma import SdmaMachine
+from repro.nic.mcp.send import SendMachine
+
+__all__ = [
+    "Connection",
+    "RdmaMachine",
+    "RecvMachine",
+    "SdmaMachine",
+    "SendMachine",
+    "StateMachine",
+    "UnexpectedRecord",
+]

@@ -1,0 +1,153 @@
+"""SDMA state machine.
+
+"The SDMA state machine polls for new send tokens and queues them on the
+queue for the appropriate connection.  The SDMA state machine is also
+responsible for initiating a DMA to transfer data from the host memory to
+the NIC transmit buffers and to prepare the packet for transmission."
+(Section 4.1.)
+
+Work items arriving on ``nic.sdma_inbox``:
+
+``("token", port_id, token)``
+    A fresh host send token (ordinary :class:`~repro.gm.tokens.SendToken`
+    or a :class:`~repro.gm.tokens.BarrierSendToken` initiating a barrier).
+``("retransmit", remote_node, entry)``
+    Go-back-N retransmission of a sent-list entry: GM "push[es] the
+    contents of the sent list back on the send queue", which re-DMAs and
+    re-prepares the packet.
+``("barrier_send_pe", port_id, token)`` /
+``("barrier_send_gather", port_id, token)`` /
+``("barrier_bcast", port_id, token)`` /
+``("barrier_resend", port_id, token, endpoint, ptype)``
+    Barrier firmware work delegated by the barrier engine (Section 5.2:
+    barrier send tokens are repeatedly updated and re-queued).
+"""
+
+from __future__ import annotations
+
+from repro.gm.tokens import SendToken
+from repro.network.packet import PacketType
+from repro.nic.mcp.connection import SentEntry
+from repro.nic.mcp.machine import StateMachine
+
+
+class SdmaMachine(StateMachine):
+    """The SDMA state machine (see module docstring)."""
+    machine_name = "sdma"
+
+    def _run(self):
+        nic = self.nic
+        while True:
+            item = yield nic.sdma_inbox.get()
+            kind = item[0]
+            if kind == "token":
+                _, port_id, token = item
+                if token.is_barrier:
+                    yield from nic.barrier_engine.initiate(port_id, token)
+                elif token.is_collective:
+                    yield from nic.collective_engine.initiate(port_id, token)
+                elif token.is_multicast:
+                    yield from self._process_multicast_token(port_id, token)
+                else:
+                    yield from self._process_send_token(port_id, token)
+            elif kind == "retransmit":
+                _, remote_node, entry = item
+                yield from self._retransmit(remote_node, entry)
+            elif kind in (
+                "barrier_send_pe",
+                "barrier_send_gather",
+                "barrier_bcast",
+                "barrier_resend",
+                "barrier_reject",
+            ):
+                yield from nic.barrier_engine.sdma_work(item)
+            elif kind in ("coll_send_reduce", "coll_bcast", "coll_resend"):
+                yield from nic.collective_engine.sdma_work(item)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"SDMA: unknown work item {item!r}")
+
+    # ------------------------------------------------------------------
+    def _process_send_token(self, port_id: int, token: SendToken):
+        """Ordinary reliable send: DMA payload in, prepare, hand to SEND."""
+        nic = self.nic
+        yield from self.cpu("token_process")
+        conn = nic.connection(token.dst_node)
+        token.seqno = conn.assign_seqno()
+
+        # Stage the payload into a transmit buffer (blocks if pool empty).
+        yield nic.tx_buffers.acquire()
+        yield from self.cpu("dma_setup")
+        yield from nic.sdma_engine.transfer(token.size_bytes)
+        yield from self.cpu("packet_prep")
+
+        wire_type = token.wire_type or PacketType.DATA
+        packet = nic.make_packet(
+            wire_type,
+            dst_node=token.dst_node,
+            dst_port=token.dst_port,
+            src_port=token.src_port,
+            seqno=token.seqno,
+            payload_bytes=token.size_bytes,
+            # One-sided packets carry their descriptor verbatim; ordinary
+            # sends wrap the application body.
+            payload=(
+                dict(token.payload)
+                if wire_type is not PacketType.DATA
+                else {"body": token.payload}
+            ),
+        )
+        yield from self.cpu("send_queue_manage")
+        conn.record_sent(SentEntry(seqno=token.seqno, packet=packet, token=token))
+        nic.ensure_retransmit_timer(conn)
+        self.trace("prepared", key=packet.packet_id, dst=token.dst_node, seq=token.seqno)
+        nic.send_queue.put((packet, True))  # True: uses a tx buffer
+
+    def _process_multicast_token(self, port_id: int, token):
+        """NIC-assisted multidestination send (the paper's reference [2]):
+        one host DMA, one packet prepared and queued per destination."""
+        nic = self.nic
+        yield from self.cpu("token_process")
+        # Stage the payload once.
+        yield nic.tx_buffers.acquire()
+        yield from self.cpu("dma_setup")
+        yield from nic.sdma_engine.transfer(token.size_bytes)
+        token.remaining_acks = len(token.destinations)
+        last_index = len(token.destinations) - 1
+        for i, (dst_node, dst_port) in enumerate(token.destinations):
+            yield from self.cpu("packet_prep")
+            conn = nic.connection(dst_node)
+            seqno = conn.assign_seqno()
+            packet = nic.make_packet(
+                PacketType.DATA,
+                dst_node=dst_node,
+                dst_port=dst_port,
+                src_port=token.src_port,
+                seqno=seqno,
+                payload_bytes=token.size_bytes,
+                payload={"body": token.payload},
+            )
+            yield from self.cpu("send_queue_manage")
+            conn.record_sent(SentEntry(seqno=seqno, packet=packet, token=token))
+            nic.ensure_retransmit_timer(conn)
+            # The SRAM buffer is released when the *last* replica has been
+            # handed to the wire.
+            nic.send_queue.put((packet, i == last_index))
+        self.trace("multicast_fanout", key=token.token_id,
+                   fanout=len(token.destinations))
+
+    def _retransmit(self, remote_node: int, entry: SentEntry):
+        """Re-DMA and re-send one sent-list entry (if still unacked)."""
+        nic = self.nic
+        conn = nic.connection(remote_node)
+        if entry not in conn.sent_list:
+            return  # ACKed while the retransmit work item was queued.
+        yield from self.cpu("token_process")
+        yield nic.tx_buffers.acquire()
+        yield from self.cpu("dma_setup")
+        yield from nic.sdma_engine.transfer(entry.packet.payload_bytes)
+        yield from self.cpu("packet_prep")
+        entry.retransmits += 1
+        conn.packets_retransmitted += 1
+        packet = nic.clone_packet(entry.packet)
+        self.trace("retransmit", key=packet.packet_id, dst=remote_node, seq=entry.seqno)
+        nic.send_queue.put((packet, True))

@@ -1,0 +1,324 @@
+"""The NIC: hardware resources, port/connection state, MCP machines.
+
+One :class:`Nic` per node (the paper's system model allows several per
+node; the cluster builder wires one by default and tests exercise the
+general shape through port multiplexing, which is what the paper's
+concurrent-barrier design issue is about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.gm.constants import MAX_PORTS, BarrierReliability
+from repro.gm.events import GmEvent
+from repro.gm.port import NicPort
+from repro.gm.tokens import BarrierSendToken, SendToken
+from repro.network.fabric import Network
+from repro.network.packet import Packet, PacketType
+from repro.nic.buffers import BufferPool
+from repro.nic.dma import DmaEngine
+from repro.nic.lanai import LanaiModel
+from repro.nic.mcp.connection import Connection
+from repro.nic.mcp.rdma import RdmaMachine
+from repro.nic.mcp.recv import RecvMachine
+from repro.nic.mcp.sdma import SdmaMachine
+from repro.nic.mcp.send import SendMachine
+from repro.sim.engine import Simulator
+from repro.sim.primitives import Resource, Store
+from repro.sim.tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.nic_barrier import NicBarrierEngine
+
+
+@dataclass(frozen=True)
+class NicParams:
+    """NIC configuration knobs (beyond the LANai cost model)."""
+
+    #: PCI bus: 32-bit/33 MHz of the testbed era.
+    pci_bandwidth_mbps: float = 133.0
+    #: Per-DMA bus-transaction overhead.
+    pci_setup_us: float = 0.9
+    #: SRAM packet-buffer pools.
+    tx_buffers: int = 16
+    rx_buffers: int = 32
+    buffer_bytes: int = 4096
+    #: Regular-stream go-back-N retransmission timeout.
+    retransmit_timeout_us: float = 1500.0
+    #: Delayed-ACK coalescing window (GM acks lazily / piggybacked rather
+    #: than per packet).  0 acks every packet immediately.
+    ack_delay_us: float = 12.0
+    #: SEPARATE-mode barrier retransmission timeout.
+    barrier_retransmit_timeout_us: float = 800.0
+    #: How barrier messages are protected (Section 4.4).
+    barrier_reliability: BarrierReliability = BarrierReliability.UNRELIABLE
+    #: Section 3.4 optimization: barrier "messages" between two ports of
+    #: the *same* NIC skip the wire and just set the local flag.
+    local_barrier_optimization: bool = False
+
+    def with_(self, **changes) -> "NicParams":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+class Nic:
+    """A programmable LANai NIC attached to the fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        model: LanaiModel,
+        network: Network,
+        params: Optional[NicParams] = None,
+        tracer: Optional[Tracer] = None,
+        num_ports: int = MAX_PORTS,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.model = model
+        self.network = network
+        self.params = params or NicParams()
+        self.tracer = tracer
+        self.num_ports = num_ports
+
+        # -- hardware resources ---------------------------------------------
+        self.cpu_resource = Resource(sim, 1, name=f"nic{node_id}.cpu")
+        self.pci_bus = Resource(sim, 1, name=f"nic{node_id}.pci")
+        self.sdma_engine = DmaEngine(
+            sim, self.pci_bus, self.params.pci_bandwidth_mbps,
+            self.params.pci_setup_us, name=f"nic{node_id}.sdma",
+        )
+        self.rdma_engine = DmaEngine(
+            sim, self.pci_bus, self.params.pci_bandwidth_mbps,
+            self.params.pci_setup_us, name=f"nic{node_id}.rdma",
+        )
+        self.tx_buffers = BufferPool(
+            sim, self.params.tx_buffers, self.params.buffer_bytes,
+            name=f"nic{node_id}.tx",
+        )
+        self.rx_buffers = BufferPool(
+            sim, self.params.rx_buffers, self.params.buffer_bytes,
+            name=f"nic{node_id}.rx",
+        )
+
+        # -- protocol state ----------------------------------------------------
+        self.ports: Dict[int, NicPort] = {
+            pid: NicPort(sim, node_id, pid) for pid in range(num_ports)
+        }
+        self._connections: Dict[int, Connection] = {}
+
+        # -- inter-machine queues ---------------------------------------------
+        self.sdma_inbox: Store = Store(sim, name=f"nic{node_id}.sdma_inbox")
+        self.send_queue: Store = Store(sim, name=f"nic{node_id}.send_q")
+        self.recv_queue: Store = Store(sim, name=f"nic{node_id}.recv_q")
+        self.rdma_queue: Store = Store(sim, name=f"nic{node_id}.rdma_q")
+
+        # -- fabric attachment ---------------------------------------------------
+        self.tx_channel = network.attach_nic(node_id, self)
+
+        # -- the barrier extension (the paper's contribution) ---------------------
+        from repro.core.nic_barrier import NicBarrierEngine
+        from repro.core.nic_collectives import NicCollectiveEngine
+
+        self.barrier_engine: "NicBarrierEngine" = NicBarrierEngine(self)
+        #: NIC-based reduce/allreduce/bcast (the Section 8 extension).
+        self.collective_engine: "NicCollectiveEngine" = NicCollectiveEngine(self)
+
+        # -- the four MCP state machines -------------------------------------------
+        self.sdma_machine = SdmaMachine(self)
+        self.send_machine = SendMachine(self)
+        self.recv_machine = RecvMachine(self)
+        self.rdma_machine = RdmaMachine(self)
+
+    # ------------------------------------------------------------------
+    # Fabric interface
+    # ------------------------------------------------------------------
+    def receive_packet(self, packet: Packet) -> None:
+        """Wire delivery point (the fabric calls this)."""
+        self.recv_queue.put(packet)
+
+    def inject(self, packet: Packet) -> None:
+        """Hand a prepared packet to the transmit channel."""
+        packet.injected_at = self.sim.now
+        self.tx_channel.send(packet)
+
+    # ------------------------------------------------------------------
+    # Factories and accessors
+    # ------------------------------------------------------------------
+    def connection(self, remote_node: int) -> Connection:
+        """The (lazily created) connection state toward a peer node."""
+        conn = self._connections.get(remote_node)
+        if conn is None:
+            conn = Connection(self.sim, self.node_id, remote_node, self.num_ports)
+            self._connections[remote_node] = conn
+        return conn
+
+    @property
+    def connections(self) -> Dict[int, Connection]:
+        """All live connections, keyed by remote node id."""
+        return self._connections
+
+    def port(self, port_id: int) -> NicPort:
+        """The port structure for ``port_id`` (raises if out of range)."""
+        try:
+            return self.ports[port_id]
+        except KeyError:
+            raise ValueError(
+                f"NIC {self.node_id} has no port {port_id} "
+                f"(0..{self.num_ports - 1})"
+            ) from None
+
+    def make_packet(
+        self,
+        ptype: PacketType,
+        dst_node: int,
+        dst_port: int,
+        src_port: int,
+        seqno: int = 0,
+        payload_bytes: int = 0,
+        payload: Optional[dict] = None,
+    ) -> Packet:
+        """Build a packet with its source route stamped."""
+        return Packet(
+            ptype=ptype,
+            src_node=self.node_id,
+            src_port=src_port,
+            dst_node=dst_node,
+            dst_port=dst_port,
+            seqno=seqno,
+            payload_bytes=payload_bytes,
+            payload=payload or {},
+            route=self.network.route_for(self.node_id, dst_node),
+        )
+
+    def clone_packet(self, packet: Packet) -> Packet:
+        """Fresh copy for retransmission (routes are consumed in flight)."""
+        return Packet(
+            ptype=packet.ptype,
+            src_node=packet.src_node,
+            src_port=packet.src_port,
+            dst_node=packet.dst_node,
+            dst_port=packet.dst_port,
+            seqno=packet.seqno,
+            payload_bytes=packet.payload_bytes,
+            payload=dict(packet.payload),
+            route=self.network.route_for(self.node_id, packet.dst_node),
+        )
+
+    # ------------------------------------------------------------------
+    # Host-facing entry points (called by the GM API layer)
+    # ------------------------------------------------------------------
+    def post_token(self, port_id: int, token) -> None:
+        """A host process queued a send token.
+
+        The token becomes visible to the SDMA machine after its polling
+        detection latency -- the NIC half of the paper's ``Send`` term.
+        """
+        token.queued_at = self.sim.now
+        self.sim.schedule(
+            self.model.time("poll_detect"),
+            self.sdma_inbox.put,
+            ("token", port_id, token),
+        )
+
+    def post_host_event(self, port: NicPort, event: GmEvent) -> None:
+        """Queue an event into the port's host-visible event ring."""
+        event.posted_at = self.sim.now
+        port.event_queue.put(event)
+
+    def on_port_open(self, port_id: int) -> None:
+        """Hook for the driver: replay closed-port barrier rejections."""
+        self.barrier_engine.on_port_open(port_id)
+
+    def on_port_close(self, port_id: int) -> None:
+        """Hook for the driver: abandon this port's barrier retransmits."""
+        for conn in self._connections.values():
+            conn.drop_barrier_unacked_for_port(port_id)
+
+    # ------------------------------------------------------------------
+    # Retransmission timers
+    # ------------------------------------------------------------------
+    def ensure_retransmit_timer(self, conn: Connection) -> None:
+        """Start the go-back-N timer if unacked packets exist."""
+        if conn.retransmit_timer is None and conn.sent_list:
+            conn.retransmit_timer = self.sim.schedule(
+                self.params.retransmit_timeout_us, self._on_retransmit_timeout, conn
+            )
+
+    def manage_retransmit_timer(self, conn: Connection, restart: bool = False) -> None:
+        """Cancel/restart the go-back-N timer after ACK/NACK processing."""
+        if conn.retransmit_timer is not None:
+            conn.retransmit_timer.cancel()
+            conn.retransmit_timer = None
+        if conn.sent_list:
+            conn.retransmit_timer = self.sim.schedule(
+                self.params.retransmit_timeout_us, self._on_retransmit_timeout, conn
+            )
+
+    def _on_retransmit_timeout(self, conn: Connection) -> None:
+        conn.retransmit_timer = None
+        if not conn.sent_list:
+            return
+        for entry in list(conn.sent_list):
+            self.sdma_inbox.put(("retransmit", conn.remote_node, entry))
+        self.ensure_retransmit_timer(conn)
+
+    # ------------------------------------------------------------------
+    # Delayed ACKs
+    # ------------------------------------------------------------------
+    def schedule_ack(self, conn: Connection) -> None:
+        """Owe the peer a cumulative ACK; coalesce within the delay window."""
+        if self.params.ack_delay_us <= 0:
+            self.rdma_queue.put(("ack_gen", conn.remote_node))
+            return
+        if conn.ack_timer is None:
+            conn.ack_timer = self.sim.schedule(
+                self.params.ack_delay_us, self._on_ack_timer, conn
+            )
+
+    def _on_ack_timer(self, conn: Connection) -> None:
+        conn.ack_timer = None
+        self.rdma_queue.put(("ack_gen", conn.remote_node))
+
+    def manage_barrier_retransmit_timer(self, conn: Connection) -> None:
+        """Restart/cancel the SEPARATE-mode barrier timer."""
+        if conn.barrier_retransmit_timer is not None:
+            conn.barrier_retransmit_timer.cancel()
+            conn.barrier_retransmit_timer = None
+        if conn.barrier_unacked:
+            conn.barrier_retransmit_timer = self.sim.schedule(
+                self.params.barrier_retransmit_timeout_us,
+                self._on_barrier_retransmit_timeout,
+                conn,
+            )
+
+    def _on_barrier_retransmit_timeout(self, conn: Connection) -> None:
+        conn.barrier_retransmit_timer = None
+        if not conn.barrier_unacked:
+            return
+        for entry in list(conn.barrier_unacked):
+            entry.retransmits += 1
+            conn.packets_retransmitted += 1
+            self.send_queue.put((self.clone_packet(entry.packet), False))
+        self.manage_barrier_retransmit_timer(conn)
+
+    # ------------------------------------------------------------------
+    def cpu_time(self, operation: str):
+        """Charge ``operation`` against the NIC processor (generator)."""
+        yield from self.cpu_resource.use(self.model.time(operation))
+
+    def shutdown(self) -> None:
+        """Stop the state-machine processes (end-of-test cleanup)."""
+        for machine in (
+            self.sdma_machine,
+            self.send_machine,
+            self.recv_machine,
+            self.rdma_machine,
+        ):
+            machine.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Nic node={self.node_id} model={self.model.name}>"

@@ -1,0 +1,241 @@
+"""The simulation event loop.
+
+The engine is a classic calendar-queue DES core: a binary heap of
+``(time, priority, seq, callback)`` entries and a virtual clock.  Everything
+else in :mod:`repro.sim` (processes, timeouts, stores, resources) is sugar
+that schedules callbacks here.
+
+Time is a ``float`` in **microseconds** throughout this project; the
+Myrinet/GM latencies the paper reports are all in the 1--250 us range, so
+microseconds keep the numbers legible in traces and results tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for "urgent" bookkeeping that must run before normal events at
+#: the same instant (e.g. waking a process before another samples a queue).
+PRIORITY_HIGH = -1
+#: Priority for events that must run after all normal activity at an instant.
+PRIORITY_LOW = 1
+
+
+class EventHandle:
+    """A cancellable handle for a scheduled callback.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped when
+    popped.  This makes :meth:`cancel` O(1), which matters because
+    retransmission timers are cancelled far more often than they fire.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled timers don't pin large objects until
+        # the heap entry is popped.
+        self.callback = _noop
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.3f} prio={self.priority} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """Owns the virtual clock and the pending-event heap.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value in microseconds.
+
+    Notes
+    -----
+    The simulator is single-threaded and re-entrant only in the sense that
+    callbacks may schedule further events.  ``run()`` drains the heap until
+    a stop condition.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now: float = start_time
+        self._heap: list[EventHandle] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._stop_requested: bool = False
+        #: Number of callbacks executed; useful for profiling and for
+        #: detecting runaway simulations in tests.
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` us from now.
+
+        Negative delays are a programming error and raise ``ValueError``;
+        zero delays are common and fire at the current instant after any
+        already-scheduled same-instant events of equal priority.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time} before current time t={self.now}"
+            )
+        self._seq += 1
+        handle = EventHandle(time, priority, self._seq, callback, tuple(args))
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if heap is empty."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self.now:  # pragma: no cover - defensive
+                raise RuntimeError("event heap corrupted: time went backwards")
+            self.now = handle.time
+            self.events_executed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event heap.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this instant.  Events scheduled
+            exactly at ``until`` are executed.  The clock is advanced to
+            ``until`` on return even if the heap empties earlier.
+        max_events:
+            Safety valve: raise ``RuntimeError`` after this many callbacks.
+            Useful in tests to catch livelock (e.g. a polling loop that
+            never yields time).
+
+        Returns
+        -------
+        float
+            The clock value at return.
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run() is not re-entrant")
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while self._heap and not self._stop_requested:
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded max_events={max_events}; "
+                        "likely livelock"
+                    )
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> float:
+        """Run until no events remain.  Alias of ``run(until=None)``."""
+        return self.run(until=None, max_events=max_events)
+
+    def stop(self) -> None:
+        """Request that ``run()`` return after the current callback."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) entries in the heap."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or None if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def process(self, generator: Iterable) -> "Process":
+        """Convenience: wrap a generator into a running :class:`Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def timeout(self, delay: float) -> "Timeout":
+        """Convenience: create a :class:`Timeout` bound to this simulator."""
+        from repro.sim.primitives import Timeout
+
+        return Timeout(delay)
+
+    def event(self) -> "SimEvent":
+        """Convenience: create a :class:`SimEvent` bound to this simulator."""
+        from repro.sim.primitives import SimEvent
+
+        return SimEvent(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self.now:.3f} pending={len(self._heap)}>"

@@ -1,0 +1,369 @@
+"""Waitables and synchronization primitives for simulation processes.
+
+Everything a :class:`~repro.sim.process.Process` can ``yield`` is defined
+here (plus ``Process`` itself, which is also waitable).  The protocol is
+tiny: a waitable exposes ``_subscribe(process)`` which arranges for
+``process._resume(value)`` (or ``process._throw(exc)``) to be called exactly
+once when the waitable fires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Generic, Iterable, List, Optional, TypeVar
+
+from repro.sim.engine import PRIORITY_HIGH, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+
+T = TypeVar("T")
+
+
+class Interrupted(Exception):
+    """Raised inside a process when another process interrupts its wait."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout:
+    """Waitable that fires after a fixed simulated delay.
+
+    ``yield Timeout(5.0)`` suspends the yielding process for 5 us.  The
+    resume value is the delay itself (rarely useful, but handy in tests).
+    """
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = delay
+        self.value = value if value is not None else delay
+
+    def _subscribe(self, process: "Process") -> None:
+        process.sim.schedule(self.delay, process._resume, self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay})"
+
+
+class SimEvent(Generic[T]):
+    """One-shot event: processes wait on it; someone succeeds or fails it.
+
+    Unlike a callback list, a ``SimEvent`` remembers its outcome, so a
+    process that waits *after* the event fired resumes immediately at the
+    current instant (with high priority, preserving causality).
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_exception", "name")
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: List[Callable[[Any, Optional[BaseException]], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    # -- firing --------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event already fired."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The fired value (raises the failure exception if failed)."""
+        if not self._triggered:
+            raise RuntimeError(f"event {self.name!r} has not fired yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: T = None) -> "SimEvent[T]":
+        """Fire the event with ``value``.  Waiters resume this instant."""
+        if self._triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "SimEvent[T]":
+        """Fire the event with an exception; waiters have it raised."""
+        if self._triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._exception = exception
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            # Deliver at the current instant but before ordinary events so
+            # that a waiter observes the world exactly as the firer left it.
+            self.sim.schedule(
+                0.0, cb, self._value, self._exception, priority=PRIORITY_HIGH
+            )
+
+    # -- waiting -------------------------------------------------------
+    def add_callback(
+        self, callback: Callable[[Any, Optional[BaseException]], None]
+    ) -> None:
+        """Low-level: run ``callback(value, exception)`` when fired."""
+        if self._triggered:
+            self.sim.schedule(
+                0.0,
+                callback,
+                self._value,
+                self._exception,
+                priority=PRIORITY_HIGH,
+            )
+        else:
+            self._callbacks.append(callback)
+
+    def _subscribe(self, process: "Process") -> None:
+        def deliver(value: Any, exc: Optional[BaseException]) -> None:
+            if exc is not None:
+                process._throw(exc)
+            else:
+                process._resume(value)
+
+        self.add_callback(deliver)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self._triggered else "pending"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class AnyOf:
+    """Waitable combinator: resumes when the *first* child fires.
+
+    The resume value is ``(index, value)`` of the winning child.  Losing
+    children are left pending (one-shot events may still be consumed by
+    other waiters).  Failure of the winning child propagates.
+    """
+
+    def __init__(self, children: Iterable[Any]) -> None:
+        self.children = list(children)
+        if not self.children:
+            raise ValueError("AnyOf needs at least one child")
+
+    def _subscribe(self, process: "Process") -> None:
+        done = {"fired": False}
+
+        def make_deliver(index: int) -> Callable[[Any, Optional[BaseException]], None]:
+            def deliver(value: Any, exc: Optional[BaseException]) -> None:
+                if done["fired"]:
+                    return
+                done["fired"] = True
+                if exc is not None:
+                    process._throw(exc)
+                else:
+                    process._resume((index, value))
+
+            return deliver
+
+        for i, child in enumerate(self.children):
+            _as_event(process.sim, child).add_callback(make_deliver(i))
+
+
+class AllOf:
+    """Waitable combinator: resumes when *all* children have fired.
+
+    The resume value is the list of child values in order.  The first
+    failure wins and is raised in the waiting process.
+    """
+
+    def __init__(self, children: Iterable[Any]) -> None:
+        self.children = list(children)
+
+    def _subscribe(self, process: "Process") -> None:
+        remaining = {"count": len(self.children), "failed": False}
+        values: List[Any] = [None] * len(self.children)
+        if remaining["count"] == 0:
+            process.sim.schedule(0.0, process._resume, [], priority=PRIORITY_HIGH)
+            return
+
+        def make_deliver(index: int) -> Callable[[Any, Optional[BaseException]], None]:
+            def deliver(value: Any, exc: Optional[BaseException]) -> None:
+                if remaining["failed"]:
+                    return
+                if exc is not None:
+                    remaining["failed"] = True
+                    process._throw(exc)
+                    return
+                values[index] = value
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    process._resume(values)
+
+            return deliver
+
+        for i, child in enumerate(self.children):
+            _as_event(process.sim, child).add_callback(make_deliver(i))
+
+
+def _as_event(sim: Simulator, waitable: Any) -> SimEvent:
+    """Adapt any waitable into a SimEvent (for the combinators)."""
+    from repro.sim.process import Process
+
+    if isinstance(waitable, SimEvent):
+        return waitable
+    if isinstance(waitable, Timeout):
+        ev: SimEvent = SimEvent(sim, name=f"timeout({waitable.delay})")
+        sim.schedule(waitable.delay, ev.succeed, waitable.value)
+        return ev
+    if isinstance(waitable, Process):
+        return waitable.completion_event
+    raise TypeError(f"cannot wait on {waitable!r}")
+
+
+class Store(Generic[T]):
+    """Unbounded-or-bounded FIFO queue with blocking ``get``.
+
+    Models hardware/firmware queues: token queues between host and NIC,
+    per-connection send queues, receive-event queues.  ``put`` succeeds
+    immediately while below capacity (and raises when a bounded store
+    overflows -- hardware queues in GM are flow-controlled by tokens, so an
+    overflow is a protocol bug we want to surface loudly, not mask).
+    """
+
+    def __init__(
+        self, sim: Simulator, capacity: Optional[int] = None, name: str = ""
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self._getters: Deque[SimEvent] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (read-only view for tests/traces)."""
+        return tuple(self._items)
+
+    def put(self, item: T) -> None:
+        """Enqueue ``item``; wakes the oldest blocked getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            return
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise OverflowError(
+                f"store {self.name!r} overflow (capacity={self.capacity}); "
+                "flow control violated"
+            )
+        self._items.append(item)
+
+    def get(self) -> SimEvent[T]:
+        """Return a waitable that yields the next item (FIFO)."""
+        ev: SimEvent[T] = SimEvent(self.sim, name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[T]:
+        """Non-blocking get: pop and return an item, or None if empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def peek(self) -> Optional[T]:
+        """The next item without consuming it."""
+        return self._items[0] if self._items else None
+
+
+class Resource:
+    """Capacity-limited resource with FIFO grant order.
+
+    Models the NIC processor (capacity 1, shared by the four MCP state
+    machines), the PCI bus (shared by the SDMA and RDMA engines) and the
+    host CPU.  Usage::
+
+        req = resource.request()
+        yield req            # granted when capacity available
+        ...                  # hold
+        resource.release()
+
+    or with the helper ``use`` generator::
+
+        yield from resource.use(duration)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[SimEvent] = deque()
+        #: Cumulative busy time integral for utilization accounting.
+        self._busy_time = 0.0
+        self._last_change = sim.now
+
+    @property
+    def in_use(self) -> int:
+        """Units of capacity currently held."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for capacity."""
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Average fraction of capacity in use from ``since`` to now."""
+        self._account()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_time / (elapsed * self.capacity)
+
+    def request(self) -> SimEvent[None]:
+        """Return a waitable granted when a unit of capacity is free."""
+        ev: SimEvent[None] = SimEvent(self.sim, name=f"req:{self.name}")
+        if self._in_use < self.capacity and not self._waiters:
+            self._account()
+            self._in_use += 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return a unit of capacity; grants the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the unit directly to the next waiter: _in_use unchanged.
+            waiter = self._waiters.popleft()
+            waiter.succeed(None)
+        else:
+            self._account()
+            self._in_use -= 1
+
+    def use(self, duration: float):
+        """Generator helper: acquire, hold ``duration`` us, release."""
+        yield self.request()
+        try:
+            yield Timeout(duration)
+        finally:
+            self.release()

@@ -1,0 +1,111 @@
+"""Structured tracing of simulation activity.
+
+The tracer collects ``TraceEvent`` records (timestamp, category, label,
+payload).  It powers two things:
+
+* the per-phase latency decomposition used to validate the Figure 2 timing
+  model (``Send``, ``SDMA``, ``Xmit``, ``Network``, ``Recv``, ``RDMA``,
+  ``HRecv`` segments), and
+* debugging: a human-readable timeline of host/NIC/network events.
+
+Tracing is off by default and costs one predicate call per record when off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single trace record."""
+
+    time: float
+    category: str
+    label: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.payload.items())
+        return f"[{self.time:10.3f}us] {self.category:<10} {self.label} {extra}".rstrip()
+
+
+class Tracer:
+    """Collects trace events for one simulation.
+
+    Parameters
+    ----------
+    sim:
+        Simulator whose clock stamps the records.
+    enabled:
+        If False, :meth:`record` is a no-op (cheap).
+    categories:
+        If given, only these categories are recorded.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        enabled: bool = False,
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self.categories = set(categories) if categories is not None else None
+        self.events: List[TraceEvent] = []
+        #: Optional live sink, e.g. ``print``, for interactive debugging.
+        self.sink: Optional[Callable[[TraceEvent], None]] = None
+
+    def record(self, category: str, label: str, **payload: Any) -> None:
+        """Record one event if tracing is enabled for ``category``."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        ev = TraceEvent(self.sim.now, category, label, payload)
+        self.events.append(ev)
+        if self.sink is not None:
+            self.sink(ev)
+
+    # -- queries --------------------------------------------------------
+    def filter(self, category: Optional[str] = None, label: Optional[str] = None) -> List[TraceEvent]:
+        """Events matching the given category and/or label."""
+        out = self.events
+        if category is not None:
+            out = [e for e in out if e.category == category]
+        if label is not None:
+            out = [e for e in out if e.label == label]
+        return list(out)
+
+    def spans(self, category: str, start_label: str, end_label: str) -> List[tuple]:
+        """Pair up start/end records into ``(start, end, duration)`` spans.
+
+        Records are matched FIFO per ``payload['key']`` when present,
+        otherwise globally FIFO.  Unmatched starts are dropped.
+        """
+        pending: Dict[Any, List[TraceEvent]] = {}
+        out: List[tuple] = []
+        for ev in self.events:
+            if ev.category != category:
+                continue
+            key = ev.payload.get("key")
+            if ev.label == start_label:
+                pending.setdefault(key, []).append(ev)
+            elif ev.label == end_label:
+                starts = pending.get(key)
+                if starts:
+                    start = starts.pop(0)
+                    out.append((start, ev, ev.time - start.time))
+        return out
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable timeline (for debugging and examples)."""
+        evs = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in evs)

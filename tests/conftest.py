@@ -1,0 +1,72 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.cluster.runner import run_on_group
+from repro.core.barrier import barrier as nic_barrier_op
+from repro.core.host_barrier import host_barrier as host_barrier_op
+from repro.sim.engine import Simulator
+from repro.sim.primitives import Timeout
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def run_barriers(
+    *,
+    num_nodes: int,
+    nic_based: bool = True,
+    algorithm: str = "pe",
+    dimension: Optional[int] = None,
+    repetitions: int = 1,
+    skews: Optional[Dict[int, float]] = None,
+    config: Optional[ClusterConfig] = None,
+    group: Optional[Sequence[Tuple[int, int]]] = None,
+    max_events: int = 5_000_000,
+):
+    """Run consecutive barriers; return (enter_times, exit_times) where
+    each is ``times[rep][rank]``, plus the cluster for inspection."""
+    cfg = config or ClusterConfig(num_nodes=num_nodes)
+    cluster = build_cluster(cfg)
+    enters: Dict[int, Dict[int, float]] = {r: {} for r in range(repetitions)}
+    exits: Dict[int, Dict[int, float]] = {r: {} for r in range(repetitions)}
+
+    def program(ctx):
+        for rep in range(repetitions):
+            if skews and rep == 0:
+                delay = skews.get(ctx.rank, 0.0)
+                if delay:
+                    yield Timeout(delay)
+            enters[rep][ctx.rank] = ctx.now
+            if nic_based:
+                yield from nic_barrier_op(
+                    ctx.port, ctx.group, ctx.rank,
+                    algorithm=algorithm, dimension=dimension,
+                )
+            else:
+                yield from host_barrier_op(
+                    ctx.port, ctx.group, ctx.rank,
+                    algorithm=algorithm, dimension=dimension,
+                )
+            exits[rep][ctx.rank] = ctx.now
+
+    run_on_group(cluster, program, group=group, max_events=max_events)
+    return enters, exits, cluster
+
+
+def assert_barrier_safety(enters: Dict[int, float], exits: Dict[int, float]) -> None:
+    """The fundamental barrier property: nobody exits before everyone
+    entered."""
+    latest_enter = max(enters.values())
+    earliest_exit = min(exits.values())
+    assert earliest_exit >= latest_enter, (
+        f"barrier unsafe: a rank exited at {earliest_exit:.3f} before the "
+        f"last rank entered at {latest_enter:.3f}"
+    )

@@ -1,0 +1,150 @@
+"""Tests for the analytic model (Equations 1-3) and its agreement with
+the simulator."""
+
+import math
+
+import pytest
+
+from repro.analysis.model import BarrierModel, ModelParams, derive_model_params
+from repro.host.cpu import HostParams
+from repro.network.fabric import NetworkParams
+from repro.nic.lanai import LANAI_4_3, LANAI_7_2
+from repro.nic.nic import NicParams
+
+
+def simple_params(**kw):
+    defaults = dict(send=5.0, sdma=6.0, network=1.0, recv=7.0, rdma=4.0, hrecv=5.0)
+    defaults.update(kw)
+    return ModelParams(**defaults)
+
+
+class TestEquations:
+    def test_equation_1(self):
+        m = BarrierModel(simple_params())
+        # T_host = log2(N) * (Send+SDMA+Network+Recv+RDMA+HRecv)
+        assert m.t_host(8) == pytest.approx(3 * 28.0)
+        assert m.t_host(16) == pytest.approx(4 * 28.0)
+
+    def test_equation_2(self):
+        m = BarrierModel(simple_params())
+        # T_nic = Send + log2(N)*(Network+Recv) + RDMA + HRecv
+        assert m.t_nic(8) == pytest.approx(5.0 + 3 * 8.0 + 4.0 + 5.0)
+
+    def test_equation_3(self):
+        m = BarrierModel(simple_params())
+        assert m.improvement(8) == pytest.approx(m.t_host(8) / m.t_nic(8))
+
+    def test_improvement_grows_with_n(self):
+        m = BarrierModel(simple_params())
+        factors = [m.improvement(n) for n in (2, 4, 8, 16, 64, 256)]
+        assert factors == sorted(factors)
+
+    def test_improvement_grows_with_host_overhead(self):
+        """The paper's MPI prediction: more per-message host overhead =>
+        bigger NIC-based win (Section 2.2)."""
+        base = BarrierModel(simple_params())
+        heavy = BarrierModel(simple_params(send=15.0, hrecv=15.0))
+        assert heavy.improvement(16) > base.improvement(16)
+
+    def test_improvement_grows_with_network_speed(self):
+        fast_net = BarrierModel(simple_params(network=0.2))
+        slow_net = BarrierModel(simple_params(network=5.0))
+        assert fast_net.improvement(16) > slow_net.improvement(16)
+
+    def test_non_power_of_two_uses_log2(self):
+        m = BarrierModel(simple_params())
+        assert m.steps(12) == pytest.approx(math.log2(12))
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            BarrierModel(simple_params()).t_host(0)
+
+
+class TestDerivedParams:
+    def test_faster_nic_shrinks_nic_terms_only(self):
+        p43 = derive_model_params(LANAI_4_3, HostParams(), NicParams(), NetworkParams())
+        p72 = derive_model_params(LANAI_7_2, HostParams(), NicParams(), NetworkParams())
+        assert p72.recv == pytest.approx(p43.recv / 2)
+        assert p72.hrecv == p43.hrecv  # host term unchanged
+        assert BarrierModel(p72).improvement(8) > BarrierModel(p43).improvement(8)
+
+    def test_model_tracks_simulation_shape(self):
+        """The closed-form model and the DES must agree on the *shape*:
+        within ~20% on latency, same winner, same growth direction."""
+        from repro.analysis.experiments import measure_barrier
+        from repro.cluster.builder import ClusterConfig
+
+        params = derive_model_params(
+            LANAI_4_3, HostParams(), NicParams(), NetworkParams()
+        )
+        model = BarrierModel(params)
+        for n in (4, 8, 16):
+            cfg = ClusterConfig(num_nodes=n)
+            sim_host = measure_barrier(
+                cfg, nic_based=False, algorithm="pe", repetitions=3, warmup=1
+            ).mean_latency_us
+            sim_nic = measure_barrier(
+                cfg, nic_based=True, algorithm="pe", repetitions=3, warmup=1
+            ).mean_latency_us
+            assert model.t_host(n) == pytest.approx(sim_host, rel=0.25)
+            assert model.t_nic(n) == pytest.approx(sim_nic, rel=0.25)
+            assert (model.t_host(n) > model.t_nic(n)) == (sim_host > sim_nic)
+
+    def test_extra_host_overhead_flows_into_send_and_hrecv(self):
+        base = derive_model_params(LANAI_4_3, HostParams(), NicParams(), NetworkParams())
+        mpi = derive_model_params(
+            LANAI_4_3, HostParams(extra_overhead_us=10.0), NicParams(), NetworkParams()
+        )
+        assert mpi.send == pytest.approx(base.send + 10.0)
+        assert mpi.hrecv == pytest.approx(base.hrecv + 10.0)
+
+
+class TestStats:
+    def test_summarize(self):
+        from repro.analysis.stats import summarize
+
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.count == 4
+
+    def test_summarize_empty_rejected(self):
+        from repro.analysis.stats import summarize
+
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_improvement_factor(self):
+        from repro.analysis.stats import improvement_factor
+
+        assert improvement_factor(180.0, 100.0) == pytest.approx(1.8)
+        with pytest.raises(ValueError):
+            improvement_factor(1.0, 0.0)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        from repro.analysis.tables import format_table
+
+        out = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 22.25]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in out and "22.25" in out
+
+    def test_row_width_mismatch(self):
+        from repro.analysis.tables import format_table
+
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_paper_vs_measured_row(self):
+        from repro.analysis.tables import paper_vs_measured_row
+
+        row = paper_vs_measured_row("nic-pe(16)", 102.14, 100.83)
+        assert row[0] == "nic-pe(16)"
+        assert row[3] == pytest.approx(100.83 / 102.14)
+        unanchored = paper_vs_measured_row("nic-pe(4)", None, 62.1)
+        assert unanchored == ["nic-pe(4)", "-", 62.1, "-"]

@@ -1,0 +1,74 @@
+"""Property-based barrier safety: for arbitrary group sizes, algorithms,
+dimensions and entry skews, no rank may leave the barrier before every
+rank has entered it, and all ranks must terminate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import assert_barrier_safety, run_barriers
+
+
+@st.composite
+def barrier_scenarios(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    algorithm = draw(st.sampled_from(["pe", "gb"]))
+    dimension = (
+        draw(st.integers(min_value=1, max_value=n - 1))
+        if algorithm == "gb"
+        else None
+    )
+    skews = {
+        r: draw(st.floats(min_value=0.0, max_value=300.0))
+        for r in range(n)
+        if draw(st.booleans())
+    }
+    return n, algorithm, dimension, skews
+
+
+class TestNicBarrierSafety:
+    @given(barrier_scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_nic_barrier_safe_under_arbitrary_skew(self, scenario):
+        n, algorithm, dimension, skews = scenario
+        enters, exits, _ = run_barriers(
+            num_nodes=n,
+            nic_based=True,
+            algorithm=algorithm,
+            dimension=dimension,
+            skews=skews,
+        )
+        assert len(exits[0]) == n  # everyone terminated
+        assert_barrier_safety(enters[0], exits[0])
+
+    @given(barrier_scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_host_barrier_safe_under_arbitrary_skew(self, scenario):
+        n, algorithm, dimension, skews = scenario
+        enters, exits, _ = run_barriers(
+            num_nodes=n,
+            nic_based=False,
+            algorithm=algorithm,
+            dimension=dimension,
+            skews=skews,
+        )
+        assert len(exits[0]) == n
+        assert_barrier_safety(enters[0], exits[0])
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=2, max_value=4),
+        st.sampled_from(["pe", "gb"]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_consecutive_barriers_each_safe(self, n, reps, algorithm):
+        dimension = min(2, n - 1) if algorithm == "gb" else None
+        enters, exits, _ = run_barriers(
+            num_nodes=n,
+            nic_based=True,
+            algorithm=algorithm,
+            dimension=dimension,
+            repetitions=reps,
+            skews={0: 120.0},
+        )
+        for rep in range(reps):
+            assert_barrier_safety(enters[rep], exits[rep])

@@ -1,0 +1,83 @@
+"""Tests for the plain-text chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import ascii_bar_chart, ascii_line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = ascii_line_chart(
+            {"a": [(2, 10.0), (4, 20.0), (8, 30.0)]},
+            width=30, height=8, title="T", x_label="nodes", y_label="us",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "o = a" in out
+        assert "x: nodes" in out
+        # One glyph per point (count grid rows only).
+        grid_rows = [l for l in lines if "|" in l]
+        assert sum(row.count("o") for row in grid_rows) == 3
+
+    def test_two_series_distinct_glyphs(self):
+        out = ascii_line_chart(
+            {"host": [(2, 40.0), (16, 180.0)], "nic": [(2, 40.0), (16, 100.0)]},
+        )
+        assert "o = host" in out and "x = nic" in out
+
+    def test_extremes_on_grid(self):
+        out = ascii_line_chart({"s": [(0, 0.0), (10, 100.0)]}, width=20, height=6)
+        # x-axis labels present; y-axis labels reflect the padded range.
+        lines = out.splitlines()
+        assert lines[-2].strip().startswith("0")
+        assert lines[-2].strip().endswith("10")
+        assert "105" in lines[0] and "-5" in lines[-4]
+
+    def test_flat_series_does_not_crash(self):
+        ascii_line_chart({"s": [(1, 5.0), (2, 5.0)]})
+
+    def test_single_point(self):
+        ascii_line_chart({"s": [(3, 7.0)]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": []})
+
+    def test_monotone_series_renders_monotone(self):
+        """Higher y-values must land on higher rows."""
+        out = ascii_line_chart(
+            {"s": [(1, 1.0), (2, 2.0), (3, 3.0)]}, width=30, height=9
+        )
+        rows_with_glyph = [
+            i for i, line in enumerate(out.splitlines()) if "o" in line and "|" in line
+        ]
+        # Earlier (higher) rows hold larger values; three distinct rows.
+        assert len(rows_with_glyph) == 3
+        assert rows_with_glyph == sorted(rows_with_glyph)
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = ascii_bar_chart({"host": 180.0, "nic": 100.0}, width=20, unit="us")
+        lines = out.splitlines()
+        assert lines[0].count("#") == 20  # the max fills the width
+        assert lines[1].count("#") == round(100.0 / 180.0 * 20)
+        assert "180us" in lines[0]
+
+    def test_zero_value_has_no_bar(self):
+        out = ascii_bar_chart({"a": 0.0, "b": 5.0})
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({"a": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+    def test_title(self):
+        out = ascii_bar_chart({"a": 1.0}, title="Latency")
+        assert out.splitlines()[0] == "Latency"

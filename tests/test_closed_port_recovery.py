@@ -1,0 +1,190 @@
+"""Tests for Section 3.2: initialization/cleanup semantics.
+
+The adopted design: barrier messages arriving for a *closed* port are
+recorded; when the port opens, the NIC sends BARRIER_REJECT to each
+recorded sender, and a sender whose initiating port is still open (same
+generation) retransmits -- "this will require only one retransmission".
+"""
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.core.barrier import barrier
+from repro.gm.constants import BarrierReliability
+from repro.nic.nic import NicParams
+from repro.sim.primitives import Timeout
+
+
+def two_node_cluster(**nic_kw):
+    cfg = ClusterConfig(
+        num_nodes=2, nic_params=NicParams(**nic_kw) if nic_kw else NicParams()
+    )
+    return build_cluster(cfg)
+
+
+GROUP = [(0, 2), (1, 2)]
+
+
+class TestRecordAndReject:
+    def test_barrier_with_late_opening_port_completes(self):
+        """Rank 0 starts the barrier before rank 1's port even exists --
+        'the first action of a program is to do a barrier in order to
+        make sure all its peers have started'."""
+        cluster = two_node_cluster()
+        a = cluster.open_port(0, 2)
+        done = []
+
+        def rank0():
+            yield from barrier(a, GROUP, 0)
+            done.append(("rank0", cluster.now))
+
+        def rank1_late():
+            yield Timeout(300.0)  # port not open yet when 0's message lands
+            b = cluster.open_port(1, 2)
+            yield from barrier(b, GROUP, 1)
+            done.append(("rank1", cluster.now))
+
+        cluster.spawn(rank0())
+        cluster.spawn(rank1_late())
+        cluster.run(max_events=3_000_000)
+        assert len(done) == 2
+        nic1 = cluster.node(1).nic
+        assert nic1.barrier_engine.rejects_sent >= 1
+        assert cluster.node(0).nic.barrier_engine.resends >= 1
+
+    def test_exactly_one_retransmission(self):
+        cluster = two_node_cluster()
+        a = cluster.open_port(0, 2)
+        done = []
+
+        def rank0():
+            yield from barrier(a, GROUP, 0)
+            done.append("rank0")
+
+        def rank1_late():
+            yield Timeout(500.0)
+            b = cluster.open_port(1, 2)
+            yield from barrier(b, GROUP, 1)
+            done.append("rank1")
+
+        cluster.spawn(rank0())
+        cluster.spawn(rank1_late())
+        cluster.run(max_events=3_000_000)
+        assert cluster.node(0).nic.barrier_engine.resends == 1
+
+    def test_closed_record_cleared_after_open(self):
+        cluster = two_node_cluster()
+        a = cluster.open_port(0, 2)
+
+        def rank0():
+            yield from barrier(a, GROUP, 0)
+
+        def rank1_late():
+            yield Timeout(300.0)
+            b = cluster.open_port(1, 2)
+            yield from barrier(b, GROUP, 1)
+
+        cluster.spawn(rank0())
+        cluster.spawn(rank1_late())
+        cluster.run(max_events=3_000_000)
+        assert cluster.node(1).nic.port(2).closed_barrier_record == set()
+
+    def test_works_in_separate_reliability_mode(self):
+        cluster = two_node_cluster(
+            barrier_reliability=BarrierReliability.SEPARATE,
+            barrier_retransmit_timeout_us=10_000.0,  # REJECT must do the work
+        )
+        a = cluster.open_port(0, 2)
+        done = []
+
+        def rank0():
+            yield from barrier(a, GROUP, 0)
+            done.append("rank0")
+
+        def rank1_late():
+            yield Timeout(300.0)
+            b = cluster.open_port(1, 2)
+            yield from barrier(b, GROUP, 1)
+            done.append("rank1")
+
+        cluster.spawn(rank0())
+        cluster.spawn(rank1_late())
+        cluster.run(max_events=3_000_000)
+        assert len(done) == 2
+
+
+class TestStaleSenderDoesNotResend:
+    def test_resend_suppressed_when_initiator_closed(self):
+        """Process A initiates a barrier with B, dies; B's port opens later
+        and rejects.  A's NIC must not resend ('only if the endpoint that
+        initiated the barrier has not closed since the message was
+        sent')."""
+        cluster = two_node_cluster()
+        a = cluster.open_port(0, 2)
+
+        def rank0_dies():
+            from repro.core.barrier import make_plan
+
+            plan = make_plan(GROUP, 0, "pe")
+            yield from a.provide_barrier_buffer()
+            yield from a.barrier_send_with_callback(plan)
+            yield Timeout(100.0)
+            a.close()  # A dies mid-barrier
+
+        def rank1_late():
+            yield Timeout(300.0)
+            cluster.open_port(1, 2)  # triggers the REJECT
+            yield Timeout(500.0)
+
+        cluster.spawn(rank0_dies())
+        cluster.spawn(rank1_late())
+        cluster.run(max_events=3_000_000)
+        assert cluster.node(1).nic.barrier_engine.rejects_sent == 1
+        assert cluster.node(0).nic.barrier_engine.resends == 0
+
+    def test_endpoint_reuse_does_not_leak_stale_message(self):
+        """The Section 3.2 hazard: A barriers with B, B is dead; new
+        processes A' and B' reuse the endpoints.  B''s barrier must not
+        consume A's stale message as if it were A''s."""
+        cluster = two_node_cluster()
+        a = cluster.open_port(0, 2)
+        done = []
+
+        enters = {}
+
+        def old_a_then_new_pair():
+            from repro.core.barrier import make_plan
+
+            # Old A initiates a barrier towards the (closed) old B.
+            plan = make_plan(GROUP, 0, "pe")
+            yield from a.provide_barrier_buffer()
+            yield from a.barrier_send_with_callback(plan)
+            yield Timeout(100.0)
+            a.close()  # old A dies; its message is recorded at node 1
+            yield Timeout(400.0)
+            # New A' reuses the endpoint and runs a fresh barrier, well
+            # after B' opened and the stale message was rejected.
+            a2 = cluster.node(0).driver.open_port(2)
+            enters["A'"] = cluster.now
+            yield from barrier(a2, GROUP, 0)
+            done.append(("A'", cluster.now))
+
+        def new_b():
+            yield Timeout(200.0)
+            b2 = cluster.node(1).driver.open_port(2)
+            enters["B'"] = cluster.now
+            yield from barrier(b2, GROUP, 1)
+            done.append(("B'", cluster.now))
+
+        cluster.spawn(old_a_then_new_pair())
+        cluster.spawn(new_b())
+        cluster.run(max_events=3_000_000)
+        # Both new processes complete; old A (closed) never resent its
+        # stale message, so B' can only have been released by A''s own
+        # message: the fundamental hazard -- B' completing before A'
+        # even starts -- cannot occur.
+        assert len(done) == 2
+        exit_b = next(t for name, t in done if name == "B'")
+        assert exit_b >= enters["A'"], (
+            "B' completed the barrier using the dead process's message"
+        )

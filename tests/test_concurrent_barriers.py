@@ -1,0 +1,139 @@
+"""Tests for Section 3.4 / 4.2: multiple concurrent barriers on one NIC.
+
+"if a NIC can be used by more than one process, then the NIC-based
+barrier mechanism must be designed to allow multiple processes to
+initiate barrier operations concurrently" -- the per-port
+``barrier_send_token`` pointer makes each port's barrier independent.
+"""
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.cluster.runner import RankContext
+from repro.core.barrier import barrier
+from repro.nic.nic import NicParams
+from repro.sim.primitives import Timeout
+from tests.conftest import assert_barrier_safety
+
+
+def run_two_groups(n=4, port_a=2, port_b=4, skew_b=0.0, **cfg_kw):
+    """Two barrier groups over the same NICs on different ports."""
+    cluster = build_cluster(ClusterConfig(num_nodes=n, **cfg_kw))
+    group_a = tuple((i, port_a) for i in range(n))
+    group_b = tuple((i, port_b) for i in range(n))
+    enters = {"a": {}, "b": {}}
+    exits = {"a": {}, "b": {}}
+
+    def prog(tag, port, rank, group, skew):
+        if skew:
+            yield Timeout(skew)
+        enters[tag][rank] = cluster.now
+        yield from barrier(port, group, rank)
+        exits[tag][rank] = cluster.now
+
+    for i in range(n):
+        pa = cluster.open_port(i, port_a)
+        pb = cluster.open_port(i, port_b)
+        cluster.spawn(prog("a", pa, i, group_a, 0.0))
+        cluster.spawn(prog("b", pb, i, group_b, skew_b))
+    cluster.run(max_events=5_000_000)
+    return enters, exits, cluster
+
+
+class TestConcurrentGroups:
+    def test_both_groups_complete_safely(self):
+        enters, exits, _ = run_two_groups()
+        assert_barrier_safety(enters["a"], exits["a"])
+        assert_barrier_safety(enters["b"], exits["b"])
+
+    def test_groups_are_independent(self):
+        """Group B being massively delayed must not hold up group A."""
+        enters, exits, _ = run_two_groups(skew_b=5000.0)
+        assert max(exits["a"].values()) < 1000.0
+        assert_barrier_safety(enters["b"], exits["b"])
+
+    def test_concurrent_barriers_share_nic_but_not_state(self):
+        _, _, cluster = run_two_groups()
+        for node in cluster.nodes:
+            # Both ports completed exactly one barrier each.
+            assert node.nic.port(2).barriers_completed == 1
+            assert node.nic.port(4).barriers_completed == 1
+
+    def test_contention_slows_but_does_not_break(self):
+        """Two simultaneous barriers on one NIC contend for the NIC CPU:
+        each is slower than a solo barrier, but both stay correct."""
+        from tests.conftest import run_barriers
+
+        solo_enters, solo_exits, _ = run_barriers(
+            num_nodes=4, nic_based=True, algorithm="pe"
+        )
+        solo = max(solo_exits[0].values()) - max(solo_enters[0].values())
+        enters, exits, _ = run_two_groups()
+        dual_a = max(exits["a"].values()) - max(enters["a"].values())
+        assert dual_a > solo  # NIC CPU contention is visible
+        assert dual_a < 4 * solo  # ...but not pathological
+
+    def test_different_group_shapes(self):
+        """A 4-node barrier on port 2 concurrent with a 2-node barrier on
+        port 4 of an overlapping node pair."""
+        cluster = build_cluster(ClusterConfig(num_nodes=4))
+        group_a = tuple((i, 2) for i in range(4))
+        group_b = ((0, 4), (1, 4))
+        done = []
+
+        def prog(port, rank, group):
+            yield from barrier(port, group, rank)
+            done.append((port.endpoint, cluster.now))
+
+        for i in range(4):
+            cluster.spawn(prog(cluster.open_port(i, 2), i, group_a))
+        for i in range(2):
+            cluster.spawn(prog(cluster.open_port(i, 4), i, group_b))
+        cluster.run(max_events=5_000_000)
+        assert len(done) == 6
+
+
+class TestLocalOptimization:
+    """Section 3.4's proposed optimization: two ports of the same NIC in
+    one barrier exchange a local flag instead of a wire message."""
+
+    def _run(self, local_opt):
+        n = 2
+        cluster = build_cluster(
+            ClusterConfig(
+                num_nodes=n,
+                nic_params=NicParams(local_barrier_optimization=local_opt),
+            )
+        )
+        # Group: two ports on node 0 plus one on node 1.
+        group = ((0, 2), (0, 4), (1, 2))
+        spec = [(0, 2), (0, 4), (1, 2)]
+        enters, exits = {}, {}
+
+        def prog(port, rank):
+            enters[rank] = cluster.now
+            yield from barrier(port, group, rank)
+            exits[rank] = cluster.now
+
+        for rank, (node, port_id) in enumerate(spec):
+            cluster.spawn(prog(cluster.open_port(node, port_id), rank))
+        cluster.run(max_events=5_000_000)
+        return enters, exits, cluster
+
+    def test_correct_with_and_without_optimization(self):
+        for opt in (False, True):
+            enters, exits, _ = self._run(opt)
+            assert len(exits) == 3
+            assert_barrier_safety(enters, exits)
+
+    def test_optimization_avoids_wire_messages(self):
+        _, _, plain = self._run(False)
+        _, _, opt = self._run(True)
+        wire_plain = plain.network.tx_channel(0).packets_sent
+        wire_opt = opt.network.tx_channel(0).packets_sent
+        assert wire_opt < wire_plain
+
+    def test_optimization_reduces_latency(self):
+        _, exits_plain, _ = self._run(False)
+        _, exits_opt, _ = self._run(True)
+        assert max(exits_opt.values()) <= max(exits_plain.values())

@@ -1,0 +1,199 @@
+"""Tests for per-connection reliability state and the unexpected-message
+record (Sections 3.1, 4.3, 4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gm.tokens import SendToken
+from repro.network.packet import Packet, PacketType
+from repro.nic.mcp.connection import (
+    BarrierUnacked,
+    Connection,
+    SentEntry,
+    UnexpectedRecord,
+)
+from repro.sim.engine import Simulator
+
+
+def make_conn(sim=None):
+    return Connection(sim or Simulator(), local_node=0, remote_node=1)
+
+
+def make_entry(seqno):
+    pkt = Packet(
+        ptype=PacketType.DATA, src_node=0, src_port=2, dst_node=1, dst_port=2,
+        seqno=seqno,
+    )
+    tok = SendToken(src_port=2, dst_node=1, dst_port=2)
+    return SentEntry(seqno=seqno, packet=pkt, token=tok)
+
+
+class TestUnexpectedRecord:
+    def test_set_and_check_clear(self):
+        rec = UnexpectedRecord()
+        rec.set(3)
+        assert rec.is_set(3)
+        assert rec.check_clear(3)
+        assert not rec.is_set(3)  # "After a bit is checked, the bit is cleared"
+        assert not rec.check_clear(3)
+
+    def test_bits_are_independent(self):
+        rec = UnexpectedRecord()
+        rec.set(0)
+        rec.set(7)
+        assert not rec.check_clear(3)
+        assert rec.check_clear(0)
+        assert rec.is_set(7)
+
+    def test_double_set_is_one_bit(self):
+        # The record can hold at most one pending message per endpoint --
+        # a second set before the check is absorbed (the paper's design
+        # relies on at most one outstanding unexpected message per peer).
+        rec = UnexpectedRecord()
+        rec.set(2)
+        rec.set(2)
+        assert rec.check_clear(2)
+        assert not rec.check_clear(2)
+
+    def test_port_range_enforced(self):
+        rec = UnexpectedRecord(num_ports=8)
+        with pytest.raises(ValueError):
+            rec.set(8)
+        with pytest.raises(ValueError):
+            rec.check_clear(-1)
+
+    def test_clear_all(self):
+        rec = UnexpectedRecord()
+        for p in range(8):
+            rec.set(p)
+        rec.clear_all()
+        assert rec.bits == 0
+
+    def test_word_size_limit(self):
+        with pytest.raises(ValueError):
+            UnexpectedRecord(num_ports=65)
+
+    @given(st.lists(st.tuples(st.sampled_from(["set", "check"]),
+                              st.integers(min_value=0, max_value=7)),
+                    max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_reference_set_implementation(self, ops):
+        """The bit array must behave exactly like a set of port ids."""
+        rec = UnexpectedRecord()
+        reference = set()
+        for op, port in ops:
+            if op == "set":
+                rec.set(port)
+                reference.add(port)
+            else:
+                got = rec.check_clear(port)
+                expected = port in reference
+                reference.discard(port)
+                assert got == expected
+
+
+class TestRegularStreamSender:
+    def test_seqnos_monotone_from_one(self):
+        conn = make_conn()
+        assert [conn.assign_seqno() for _ in range(3)] == [1, 2, 3]
+
+    def test_cumulative_ack_returns_prefix(self):
+        conn = make_conn()
+        entries = [make_entry(conn.assign_seqno()) for _ in range(5)]
+        for e in entries:
+            conn.record_sent(e)
+        done = conn.handle_ack(3)
+        assert [e.seqno for e in done] == [1, 2, 3]
+        assert [e.seqno for e in conn.sent_list] == [4, 5]
+        assert conn.packets_acked == 3
+
+    def test_ack_of_nothing(self):
+        conn = make_conn()
+        assert conn.handle_ack(10) == []
+
+    def test_entries_from(self):
+        conn = make_conn()
+        for _ in range(4):
+            conn.record_sent(make_entry(conn.assign_seqno()))
+        assert [e.seqno for e in conn.entries_from(3)] == [3, 4]
+
+
+class TestRegularStreamReceiver:
+    def test_classification(self):
+        conn = make_conn()
+        assert conn.classify_incoming(1) == "accept"
+        assert conn.classify_incoming(2) == "out_of_order"
+        conn.accept_incoming()
+        assert conn.classify_incoming(1) == "duplicate"
+        assert conn.classify_incoming(2) == "accept"
+
+    def test_accept_clears_nack_flag(self):
+        conn = make_conn()
+        conn.nack_outstanding = True
+        conn.accept_incoming()
+        assert not conn.nack_outstanding
+
+
+class TestBarrierStream:
+    def test_barrier_seqnos_per_port(self):
+        conn = make_conn()
+        assert conn.assign_barrier_seqno(2) == 1
+        assert conn.assign_barrier_seqno(2) == 2
+        assert conn.assign_barrier_seqno(4) == 1  # independent per port
+
+    def test_barrier_ack_removes_entry(self):
+        conn = make_conn()
+        pkt = Packet(
+            ptype=PacketType.BARRIER_PE, src_node=0, src_port=2,
+            dst_node=1, dst_port=2, seqno=1,
+        )
+        conn.record_barrier_sent(BarrierUnacked(2, 1, pkt))
+        assert conn.handle_barrier_ack(2, 1)
+        assert not conn.handle_barrier_ack(2, 1)
+        assert conn.barrier_unacked == []
+
+    def test_incoming_classification(self):
+        conn = make_conn()
+        assert conn.classify_barrier_incoming(3, 1) == "accept"
+        assert conn.classify_barrier_incoming(3, 1) == "duplicate"
+        assert conn.classify_barrier_incoming(3, 2) == "accept"
+        assert conn.duplicates_dropped == 1
+
+    def test_future_seqno_is_a_gap(self):
+        # A successor overtaking a lost message must NOT be delivered:
+        # it would complete the wrong barrier instance (Section 3.3
+        # in-order requirement).
+        conn = make_conn()
+        assert conn.classify_barrier_incoming(3, 2) == "future"
+        assert conn.classify_barrier_incoming(3, 1) == "accept"
+        assert conn.classify_barrier_incoming(3, 2) == "accept"
+
+    def test_streams_independent_per_source_port(self):
+        conn = make_conn()
+        assert conn.classify_barrier_incoming(2, 1) == "accept"
+        assert conn.classify_barrier_incoming(5, 1) == "accept"
+
+    def test_drop_unacked_for_closed_port(self):
+        conn = make_conn()
+        pkt = Packet(
+            ptype=PacketType.BARRIER_PE, src_node=0, src_port=2,
+            dst_node=1, dst_port=2, seqno=1,
+        )
+        conn.record_barrier_sent(BarrierUnacked(2, 1, pkt))
+        conn.record_barrier_sent(BarrierUnacked(4, 1, pkt))
+        conn.drop_barrier_unacked_for_port(2)
+        assert [e.src_port for e in conn.barrier_unacked] == [4]
+
+    @given(st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_acceptance_is_exactly_in_order(self, seqnos):
+        conn = make_conn()
+        accepted = [
+            s for s in seqnos
+            if conn.classify_barrier_incoming(2, s) == "accept"
+        ]
+        # Accepted seqnos form the gap-free prefix sequence 1, 2, 3...
+        # regardless of arrival order: no duplicate and no reordering
+        # ever reaches the barrier logic.
+        assert accepted == list(range(1, len(accepted) + 1))

@@ -1,0 +1,116 @@
+"""Tests for the fuzzy barrier (Gupta '89): initiate, compute while the
+NIC runs the barrier, then complete.
+
+"Because the barrier algorithm is performed at the NIC, the processor is
+free to perform computation while polling for the barrier to complete."
+(Section 1.)
+"""
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.core.barrier import barrier, fuzzy_barrier
+from repro.sim.primitives import Timeout
+from tests.conftest import assert_barrier_safety
+
+
+def run_fuzzy(n=8, chunk_us=5.0, chunks=40, algorithm="pe"):
+    """Each rank initiates, then alternates compute chunks with polls."""
+    cluster = build_cluster(ClusterConfig(num_nodes=n))
+    group = tuple((i, 2) for i in range(n))
+    stats = {}
+
+    def prog(port, rank):
+        node = port.node
+        enter = cluster.now
+        handle = yield from fuzzy_barrier(port, group, rank, algorithm=algorithm)
+        work_done = 0
+        while not (yield from handle.test()):
+            if work_done < chunks:
+                yield from node.compute(chunk_us)
+                work_done += 1
+            else:
+                yield Timeout(1.0)
+        ev = handle.completion_event
+        assert ev is not None
+        stats[rank] = {
+            "enter": enter,
+            "exit": cluster.now,
+            "work_done": work_done,
+            "nic_complete": ev.nic_complete_time,
+        }
+
+    for i in range(n):
+        cluster.spawn(prog(cluster.open_port(i, 2), i))
+    cluster.run(max_events=5_000_000)
+    return stats
+
+
+class TestFuzzyBarrier:
+    def test_completes_safely(self):
+        stats = run_fuzzy()
+        enters = {r: s["enter"] for r, s in stats.items()}
+        exits = {r: s["exit"] for r, s in stats.items()}
+        assert len(stats) == 8
+        assert_barrier_safety(enters, exits)
+
+    def test_computation_overlaps_barrier(self):
+        """The host gets real work done during the barrier -- the whole
+        point of NIC offload."""
+        stats = run_fuzzy(chunk_us=5.0, chunks=1000)
+        for s in stats.values():
+            assert s["work_done"] >= 5  # tens of us of overlap available
+
+    def test_wait_after_test(self):
+        cluster = build_cluster(ClusterConfig(num_nodes=4))
+        group = tuple((i, 2) for i in range(4))
+        results = []
+
+        def prog(port, rank):
+            handle = yield from fuzzy_barrier(port, group, rank)
+            done_early = yield from handle.test()  # almost surely False
+            ev = yield from handle.wait()
+            results.append((rank, done_early, ev.barrier_seq))
+
+        for i in range(4):
+            cluster.spawn(prog(cluster.open_port(i, 2), i))
+        cluster.run(max_events=5_000_000)
+        assert len(results) == 4
+        assert all(seq == 1 for _, _, seq in results)
+
+    def test_test_is_true_after_completion(self):
+        cluster = build_cluster(ClusterConfig(num_nodes=2))
+        group = ((0, 2), (1, 2))
+        checked = []
+
+        def prog(port, rank):
+            handle = yield from fuzzy_barrier(port, group, rank)
+            yield from handle.wait()
+            again = yield from handle.test()
+            checked.append(again)
+
+        for i in range(2):
+            cluster.spawn(prog(cluster.open_port(i, 2), i))
+        cluster.run(max_events=5_000_000)
+        assert checked == [True, True]
+
+    def test_fuzzy_gb(self):
+        stats = run_fuzzy(n=8, algorithm="gb")
+        assert len(stats) == 8
+
+    def test_fuzzy_latency_not_much_worse_than_blocking(self):
+        """Polling granularity adds a little latency but not much."""
+        from tests.conftest import run_barriers
+
+        enters, exits, _ = run_barriers(num_nodes=8, nic_based=True, algorithm="pe")
+        blocking = max(exits[0].values()) - max(enters[0].values())
+        stats = run_fuzzy(n=8, chunk_us=2.0, chunks=10_000)
+        fuzzy = max(s["exit"] for s in stats.values()) - max(
+            s["enter"] for s in stats.values()
+        )
+        assert fuzzy < blocking * 1.5
+
+    def test_nic_complete_precedes_host_observation(self):
+        stats = run_fuzzy()
+        for s in stats.values():
+            assert s["nic_complete"] <= s["exit"]

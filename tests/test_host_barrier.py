@@ -1,0 +1,95 @@
+"""Integration tests: the host-based barrier baselines."""
+
+import pytest
+
+from tests.conftest import assert_barrier_safety, run_barriers
+
+
+class TestHostPe:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13, 16])
+    def test_completes_safely(self, n):
+        enters, exits, _ = run_barriers(num_nodes=n, nic_based=False, algorithm="pe")
+        assert_barrier_safety(enters[0], exits[0])
+
+    def test_consecutive(self):
+        reps = 6
+        enters, exits, _ = run_barriers(
+            num_nodes=8, nic_based=False, algorithm="pe", repetitions=reps
+        )
+        for rep in range(reps):
+            assert_barrier_safety(enters[rep], exits[rep])
+
+    def test_skew(self):
+        enters, exits, _ = run_barriers(
+            num_nodes=8, nic_based=False, algorithm="pe", skews={5: 300.0}
+        )
+        assert_barrier_safety(enters[0], exits[0])
+        assert min(exits[0].values()) >= 300.0
+
+
+class TestHostGb:
+    @pytest.mark.parametrize("n,dim", [(2, 1), (4, 2), (8, 3), (16, 4), (7, 2)])
+    def test_completes_safely(self, n, dim):
+        enters, exits, _ = run_barriers(
+            num_nodes=n, nic_based=False, algorithm="gb", dimension=dim
+        )
+        assert_barrier_safety(enters[0], exits[0])
+
+    def test_consecutive(self):
+        reps = 5
+        enters, exits, _ = run_barriers(
+            num_nodes=8, nic_based=False, algorithm="gb", dimension=2,
+            repetitions=reps,
+        )
+        for rep in range(reps):
+            assert_barrier_safety(enters[rep], exits[rep])
+
+    def test_skew(self):
+        enters, exits, _ = run_barriers(
+            num_nodes=8, nic_based=False, algorithm="gb", dimension=2,
+            skews={3: 250.0},
+        )
+        assert_barrier_safety(enters[0], exits[0])
+
+
+class TestPaperOrderings:
+    """The qualitative results of Figure 5 must hold in the simulation."""
+
+    def _latency(self, n, nic_based, algorithm, dimension=None):
+        enters, exits, _ = run_barriers(
+            num_nodes=n, nic_based=nic_based, algorithm=algorithm,
+            dimension=dimension, repetitions=3,
+        )
+        lats = [
+            max(exits[r].values()) - max(enters[r].values()) for r in (1, 2)
+        ]
+        return sum(lats) / len(lats)
+
+    def test_nic_pe_beats_host_pe_beyond_two_nodes(self):
+        for n in (4, 8, 16):
+            assert self._latency(n, True, "pe") < self._latency(n, False, "pe")
+
+    def test_nic_pe_is_best_barrier_at_16(self):
+        nic_pe = self._latency(16, True, "pe")
+        assert nic_pe < self._latency(16, False, "pe")
+        assert nic_pe < self._latency(16, True, "gb", 3)
+        assert nic_pe < self._latency(16, False, "gb", 4)
+
+    def test_host_pe_beats_host_gb(self):
+        for n in (8, 16):
+            best_gb = min(
+                self._latency(n, False, "gb", d) for d in (1, 2, 4, n - 1)
+            )
+            assert self._latency(n, False, "pe") < best_gb
+
+    def test_nic_gb_loses_to_host_gb_only_at_two_nodes(self):
+        # "The NIC-based GB barrier performed worse for the two node
+        # barrier than the host-based GB barrier because of the overhead
+        # of processing the barrier algorithm at the NIC."
+        assert self._latency(2, True, "gb", 1) > self._latency(2, False, "gb", 1)
+        for n in (8, 16):
+            nic_best = min(self._latency(n, True, "gb", d) for d in (2, 3, 4))
+            host_best = min(
+                self._latency(n, False, "gb", d) for d in (2, 3, 4, 5)
+            )
+            assert nic_best < host_best

@@ -1,0 +1,274 @@
+"""Behavioural tests of the MCP state machines through a live 2-node
+stack: ACK coalescing, retransmission paths, buffer backpressure, CPU
+contention."""
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.gm.events import RecvEvent
+from repro.network.packet import PacketType
+from repro.nic.nic import NicParams
+from repro.sim.primitives import Timeout
+
+
+def two_nodes(**cfg_kw):
+    cluster = build_cluster(ClusterConfig(num_nodes=2, **cfg_kw))
+    a = cluster.open_port(0, 2)
+    b = cluster.open_port(1, 2)
+    return cluster, a, b
+
+
+def count_packets(cluster, node_id, ptype):
+    # Count from the tx channel by instrumenting a wrapper is invasive;
+    # use connection statistics instead where possible.
+    raise NotImplementedError
+
+
+class TestAckCoalescing:
+    def test_burst_generates_fewer_acks_than_messages(self):
+        """Delayed ACKs: a burst of N messages is acknowledged with far
+        fewer than N ACK packets (GM's lazy acking).  A generous window
+        is configured so several back-to-back arrivals (one every ~15 us
+        through the 33 MHz NIC pipeline) coalesce per ACK."""
+        cluster, a, b = two_nodes(nic_params=NicParams(ack_delay_us=50.0))
+        n = 10
+
+        def sender():
+            for i in range(n):
+                yield from a.send_with_callback(1, 2, payload=i)
+
+        def receiver():
+            yield from b.ensure_receive_buffers(2 * n)
+            got = 0
+            while got < n:
+                ev = yield from b.receive_where(lambda e: isinstance(e, RecvEvent))
+                got += 1
+
+        cluster.spawn(sender())
+        cluster.spawn(receiver())
+        cluster.run(max_events=2_000_000)
+        acked = cluster.node(0).nic.connection(1).packets_acked
+        assert acked == n
+        # ACK packets that crossed the wire back to node 0: observe via
+        # node 1's tx channel counter minus data-ish traffic (node 1 sent
+        # nothing else).
+        ack_packets = cluster.network.tx_channel(1).packets_sent
+        assert ack_packets <= n / 2
+
+    def test_immediate_ack_mode(self):
+        """ack_delay_us=0 acks every packet (the pre-coalescing mode)."""
+        cluster, a, b = two_nodes(nic_params=NicParams(ack_delay_us=0.0))
+        n = 6
+
+        def sender():
+            for i in range(n):
+                yield from a.send_with_callback(1, 2, payload=i)
+                yield Timeout(50.0)
+
+        def receiver():
+            yield from b.ensure_receive_buffers(2 * n)
+            for _ in range(n):
+                yield from b.receive_where(lambda e: isinstance(e, RecvEvent))
+
+        cluster.spawn(sender())
+        cluster.spawn(receiver())
+        cluster.run(max_events=2_000_000)
+        assert cluster.network.tx_channel(1).packets_sent >= n
+
+
+class TestRetransmissionPaths:
+    def test_timer_retransmission_after_silent_loss(self):
+        cluster, a, b = two_nodes(
+            nic_params=NicParams(retransmit_timeout_us=300.0)
+        )
+        dropped = {"n": 0}
+
+        def drop_first_data(pkt):
+            if pkt.ptype is PacketType.DATA and dropped["n"] == 0:
+                dropped["n"] += 1
+                return True
+            return False
+
+        cluster.network.rx_channel(1).loss_filter = drop_first_data
+        got = []
+
+        def sender():
+            yield from a.send_with_callback(1, 2, payload="x")
+
+        def receiver():
+            yield from b.provide_receive_buffer()
+            ev = yield from b.receive_where(lambda e: isinstance(e, RecvEvent))
+            got.append((cluster.now, ev.payload))
+
+        cluster.spawn(sender())
+        cluster.spawn(receiver())
+        cluster.run(max_events=2_000_000)
+        assert got and got[0][1] == "x"
+        # Recovery came via the timer: total time > the timeout.
+        assert got[0][0] > 300.0
+        assert cluster.node(0).nic.connection(1).packets_retransmitted == 1
+
+    def test_nack_storm_suppression(self):
+        """Out-of-order arrivals trigger at most one outstanding NACK."""
+        cluster, a, b = two_nodes(
+            nic_params=NicParams(retransmit_timeout_us=5000.0)
+        )
+
+        def drop_first_two(pkt):
+            if pkt.ptype is PacketType.DATA and pkt.seqno in (1, 2):
+                if not hasattr(pkt, "_redelivered"):
+                    # Drop originals only (retransmits are clones with the
+                    # same seqno, so count drops instead).
+                    drop_first_two.count = getattr(drop_first_two, "count", 0)
+                    if drop_first_two.count < 2:
+                        drop_first_two.count += 1
+                        return True
+            return False
+
+        cluster.network.rx_channel(1).loss_filter = drop_first_two
+        got = []
+
+        def sender():
+            for i in range(5):
+                yield from a.send_with_callback(1, 2, payload=i)
+
+        def receiver():
+            yield from b.ensure_receive_buffers(10)
+            while len(got) < 5:
+                ev = yield from b.receive_where(lambda e: isinstance(e, RecvEvent))
+                got.append(ev.payload)
+
+        cluster.spawn(sender())
+        cluster.spawn(receiver())
+        cluster.run(max_events=2_000_000)
+        assert got == [0, 1, 2, 3, 4]
+        # Go-back-N recovered with a bounded number of NACKs (no storm).
+        assert cluster.node(1).nic.connection(0).nacks_sent <= 3
+
+    def test_duplicate_data_dropped_and_reacked(self):
+        cluster, a, b = two_nodes(
+            nic_params=NicParams(retransmit_timeout_us=200.0)
+        )
+
+        def drop_first_ack(pkt):
+            if pkt.ptype is PacketType.ACK and not hasattr(drop_first_ack, "hit"):
+                drop_first_ack.hit = True
+                return True
+            return False
+
+        cluster.network.rx_channel(0).loss_filter = drop_first_ack
+        got = []
+
+        def sender():
+            yield from a.send_with_callback(1, 2, payload="once")
+
+        def receiver():
+            yield from b.provide_receive_buffer()
+            while True:
+                ev = yield from b.receive_where(lambda e: isinstance(e, RecvEvent))
+                got.append(ev.payload)
+
+        cluster.spawn(sender())
+        p = cluster.spawn(receiver())
+        cluster.run(until=3000.0)
+        # Delivered exactly once despite the retransmission.
+        assert got == ["once"]
+        assert cluster.node(1).nic.connection(0).duplicates_dropped >= 1
+        p.kill()
+
+
+class TestBufferBackpressure:
+    def test_tx_buffer_exhaustion_blocks_sdma_not_crash(self):
+        """With a tiny transmit pool, a burst is serialized, not lost."""
+        cluster, a, b = two_nodes(
+            nic_params=NicParams(tx_buffers=1, rx_buffers=32)
+        )
+        n = 8
+        got = []
+
+        def sender():
+            for i in range(n):
+                yield from a.send_with_callback(1, 2, payload=i, size_bytes=512)
+
+        def receiver():
+            yield from b.ensure_receive_buffers(2 * n)
+            while len(got) < n:
+                ev = yield from b.receive_where(lambda e: isinstance(e, RecvEvent))
+                got.append(ev.payload)
+
+        cluster.spawn(sender())
+        cluster.spawn(receiver())
+        cluster.run(max_events=3_000_000)
+        assert got == list(range(n))
+        assert cluster.node(0).nic.tx_buffers.high_watermark == 1
+
+    def test_rx_buffer_exhaustion_nacks_and_recovers(self):
+        cluster, a, b = two_nodes(
+            nic_params=NicParams(rx_buffers=1, retransmit_timeout_us=300.0)
+        )
+        n = 6
+        got = []
+
+        def sender():
+            for i in range(n):
+                yield from a.send_with_callback(1, 2, payload=i, size_bytes=256)
+
+        def receiver():
+            yield from b.ensure_receive_buffers(2 * n)
+            while len(got) < n:
+                ev = yield from b.receive_where(lambda e: isinstance(e, RecvEvent))
+                got.append(ev.payload)
+
+        cluster.spawn(sender())
+        cluster.spawn(receiver())
+        cluster.run(max_events=3_000_000)
+        assert got == list(range(n))
+
+
+class TestNicCpuContention:
+    def test_barrier_slows_under_foreign_traffic(self):
+        """A message stream through the same NICs inflates barrier latency
+        (shared NIC processor), without breaking it."""
+        from repro.core.barrier import barrier
+
+        def run(with_traffic):
+            cluster = build_cluster(ClusterConfig(num_nodes=2))
+            a = cluster.open_port(0, 2)
+            b = cluster.open_port(1, 2)
+            t1 = cluster.open_port(0, 4)
+            t2 = cluster.open_port(1, 4)
+            group = ((0, 2), (1, 2))
+            done = {}
+
+            def barrier_prog(port, rank):
+                for _ in range(3):
+                    yield from barrier(port, group, rank)
+                done[rank] = cluster.now
+
+            def traffic_src():
+                # Paced above the ~20 us/message NIC pipeline service time
+                # at 33 MHz so send tokens recycle via ACKs.
+                for i in range(40):
+                    yield from t1.send_with_callback(1, 4, payload=i, size_bytes=1024)
+                    yield Timeout(30.0)
+
+            def traffic_sink():
+                got = 0
+                while got < 40:
+                    yield from t2.ensure_receive_buffers(10)
+                    ev = yield from t2.receive_where(
+                        lambda e: isinstance(e, RecvEvent)
+                    )
+                    got += 1
+
+            cluster.spawn(barrier_prog(a, 0))
+            cluster.spawn(barrier_prog(b, 1))
+            if with_traffic:
+                cluster.spawn(traffic_src())
+                cluster.spawn(traffic_sink())
+            cluster.run(max_events=5_000_000)
+            return max(done.values())
+
+        quiet = run(False)
+        busy = run(True)
+        assert busy > quiet

@@ -1,0 +1,241 @@
+"""Tests for the MPI-like layer over GM."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.cluster.runner import run_on_group
+from repro.mpi import ANY_SOURCE, ANY_TAG, Communicator, MpiParams
+
+
+def run_mpi(program, n=4, params=None, config=None, **kwargs):
+    cluster = build_cluster(config or ClusterConfig(num_nodes=n))
+
+    def wrapper(ctx, **kw):
+        comm = Communicator(ctx.port, ctx.group, ctx.rank, params=params)
+        result = yield from program(comm, **kw)
+        return result
+
+    return run_on_group(cluster, wrapper, max_events=10_000_000, **kwargs), cluster
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, payload="hello", tag=5)
+                return None
+            if comm.rank == 1:
+                payload, src, tag = yield from comm.recv(0, 5)
+                return (payload, src, tag)
+
+        (results, _) = run_mpi(program, n=2)
+        assert results[1] == ("hello", 0, 5)
+
+    def test_tag_matching_out_of_order(self):
+        """A recv for tag B skips an earlier tag-A message."""
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, "first", tag=1)
+                yield from comm.send(1, "second", tag=2)
+                return None
+            got2 = yield from comm.recv(0, tag=2)
+            got1 = yield from comm.recv(0, tag=1)
+            return (got1[0], got2[0])
+
+        (results, _) = run_mpi(program, n=2)
+        assert results[1] == ("first", "second")
+
+    def test_any_source(self):
+        def program(comm):
+            if comm.rank == 0:
+                got = []
+                for _ in range(3):
+                    payload, src, _ = yield from comm.recv(ANY_SOURCE, 9)
+                    got.append((src, payload))
+                return sorted(got)
+            yield from comm.send(0, f"from-{comm.rank}", tag=9)
+
+        (results, _) = run_mpi(program, n=4)
+        assert results[0] == [(1, "from-1"), (2, "from-2"), (3, "from-3")]
+
+    def test_any_tag(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, "x", tag=42)
+                return None
+            payload, src, tag = yield from comm.recv(0, ANY_TAG)
+            return tag
+
+        (results, _) = run_mpi(program, n=2)
+        assert results[1] == 42
+
+    def test_sendrecv_ring(self):
+        def program(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            payload, src, _ = yield from comm.sendrecv(
+                right, payload=comm.rank, source=left, tag=3
+            )
+            return (src, payload)
+
+        (results, _) = run_mpi(program, n=4)
+        for rank, (src, payload) in enumerate(results):
+            assert src == (rank - 1) % 4
+            assert payload == src
+
+    def test_fifo_per_pair(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    yield from comm.send(1, i, tag=1)
+                return None
+            got = []
+            for _ in range(5):
+                payload, _, _ = yield from comm.recv(0, 1)
+                got.append(payload)
+            return got
+
+        (results, _) = run_mpi(program, n=2)
+        assert results[1] == [0, 1, 2, 3, 4]
+
+    def test_invalid_rank(self):
+        def program(comm):
+            with pytest.raises(ValueError, match="out of range"):
+                yield from comm.send(99, "x")
+
+        run_mpi(program, n=2)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("nic", [True, False])
+    def test_barrier(self, nic):
+        params = MpiParams(nic_collectives=nic)
+
+        def program(comm):
+            yield from comm.barrier()
+            return comm.port.node.sim.now
+
+        (results, _) = run_mpi(program, n=8, params=params)
+        assert len(results) == 8
+
+    @pytest.mark.parametrize("nic", [True, False])
+    def test_allreduce(self, nic):
+        params = MpiParams(nic_collectives=nic)
+
+        def program(comm):
+            result = yield from comm.allreduce(comm.rank + 1, op="sum")
+            return result
+
+        (results, _) = run_mpi(program, n=8, params=params)
+        assert all(r == 36 for r in results)
+
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_bcast_any_root(self, root):
+        def program(comm):
+            value = "secret" if comm.rank == root else None
+            result = yield from comm.bcast(value, root=root)
+            return result
+
+        (results, _) = run_mpi(program, n=4)
+        assert all(r == "secret" for r in results)
+
+    @pytest.mark.parametrize("root", [0, 3])
+    def test_reduce_any_root(self, root):
+        def program(comm):
+            result = yield from comm.reduce(comm.rank, op="max", root=root)
+            return result
+
+        (results, _) = run_mpi(program, n=5)
+        assert results[root] == 4
+        assert all(results[r] is None for r in range(5) if r != root)
+
+    def test_gather(self):
+        def program(comm):
+            result = yield from comm.gather(comm.rank * 10, root=1)
+            return result
+
+        (results, _) = run_mpi(program, n=4)
+        assert results[1] == [0, 10, 20, 30]
+        assert results[0] is None
+
+    def test_scatter(self):
+        def program(comm):
+            values = [f"v{r}" for r in range(comm.size)] if comm.rank == 0 else None
+            result = yield from comm.scatter(values, root=0)
+            return result
+
+        (results, _) = run_mpi(program, n=4)
+        assert results == ["v0", "v1", "v2", "v3"]
+
+    def test_scatter_requires_values_at_root(self):
+        def program(comm):
+            if comm.rank == 0:
+                with pytest.raises(ValueError, match="one value per rank"):
+                    yield from comm.scatter(None, root=0)
+            else:
+                yield  # nothing; keep generator shape
+                return
+
+        cluster = build_cluster(ClusterConfig(num_nodes=2))
+
+        def wrapper(ctx):
+            comm = Communicator(ctx.port, ctx.group, ctx.rank)
+            if comm.rank == 0:
+                with pytest.raises(ValueError, match="one value per rank"):
+                    yield from comm.scatter(None, root=0)
+
+        run_on_group(cluster, wrapper, max_events=1_000_000)
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.sampled_from(["sum", "min", "max"]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_allreduce_property(self, n, op):
+        def program(comm):
+            result = yield from comm.allreduce(comm.rank * 3 - 5, op=op)
+            return result
+
+        (results, _) = run_mpi(program, n=n)
+        values = [r * 3 - 5 for r in range(n)]
+        expected = {"sum": sum(values), "min": min(values), "max": max(values)}[op]
+        assert all(r == expected for r in results)
+
+
+class TestLayerOverheadClaim:
+    def test_mpi_barrier_factor_exceeds_gm_barrier_factor(self):
+        """The paper's Section 8 expectation, end to end: the NIC-based
+        barrier's factor of improvement is *larger* under the MPI layer
+        than at the raw GM level, because the layer taxes every message
+        of the host-based barrier but only one call of the NIC-based one."""
+        n = 8
+
+        def timed(nic):
+            params = MpiParams(nic_collectives=nic)
+
+            def program(comm):
+                # steady state over a few barriers
+                for _ in range(4):
+                    yield from comm.barrier()
+                start = comm.port.node.sim.now
+                yield from comm.barrier()
+                return comm.port.node.sim.now - start
+
+            (results, _) = run_mpi(program, n=n, params=params)
+            return max(results)
+
+        mpi_factor = timed(False) / timed(True)
+
+        from repro.analysis.experiments import measure_barrier
+
+        cfg = ClusterConfig(num_nodes=n)
+        gm_host = measure_barrier(cfg, nic_based=False, algorithm="pe",
+                                  repetitions=4, warmup=1).mean_latency_us
+        gm_nic = measure_barrier(cfg, nic_based=True, algorithm="pe",
+                                 repetitions=4, warmup=1).mean_latency_us
+        gm_factor = gm_host / gm_nic
+
+        assert mpi_factor > gm_factor

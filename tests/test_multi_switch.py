@@ -1,0 +1,83 @@
+"""Barriers and collectives across multi-switch topologies (the >16-node
+regime of the scaling extrapolation)."""
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.core.collectives import allreduce
+from repro.network.topology import multi_switch_topology
+from tests.conftest import assert_barrier_safety, run_barriers
+
+
+class TestMultiSwitchBarriers:
+    @pytest.mark.parametrize("n", [17, 24, 32])
+    def test_pe_barrier_safe(self, n):
+        enters, exits, cluster = run_barriers(
+            num_nodes=n, nic_based=True, algorithm="pe",
+            config=ClusterConfig(num_nodes=n),
+        )
+        assert_barrier_safety(enters[0], exits[0])
+        # The topology genuinely is multi-switch.
+        assert len(cluster.network.switches) > 1
+
+    def test_gb_barrier_safe(self):
+        enters, exits, _ = run_barriers(
+            num_nodes=24, nic_based=True, algorithm="gb", dimension=3,
+        )
+        assert_barrier_safety(enters[0], exits[0])
+
+    def test_host_barrier_safe(self):
+        enters, exits, _ = run_barriers(
+            num_nodes=20, nic_based=False, algorithm="pe",
+        )
+        assert_barrier_safety(enters[0], exits[0])
+
+    def test_cross_switch_latency_exceeds_intra_switch(self):
+        """A 2-node barrier between NICs on different leaf switches pays
+        two extra switch hops."""
+        from repro.core.barrier import barrier
+
+        topo = multi_switch_topology(32, switch_radix=16)
+
+        def pair_latency(a, b):
+            cluster = build_cluster(
+                ClusterConfig(num_nodes=32, topology=topo)
+            )
+            group = ((a, 2), (b, 2))
+            done = []
+
+            def prog(port, rank):
+                yield from barrier(port, group, rank)
+                done.append(cluster.now)
+
+            cluster.spawn(prog(cluster.open_port(a, 2), 0))
+            cluster.spawn(prog(cluster.open_port(b, 2), 1))
+            cluster.run(max_events=2_000_000)
+            return max(done)
+
+        same_leaf = pair_latency(0, 1)      # both on leaf switch 0
+        cross_leaf = pair_latency(0, 31)    # different leaves
+        assert cross_leaf > same_leaf
+
+    def test_allreduce_across_switches(self):
+        cluster = build_cluster(ClusterConfig(num_nodes=20))
+        from repro.cluster.runner import run_on_group
+
+        results = {}
+
+        def program(ctx):
+            v = yield from allreduce(
+                ctx.port, ctx.group, ctx.rank, value=ctx.rank, op="sum"
+            )
+            results[ctx.rank] = v
+
+        run_on_group(cluster, program, max_events=10_000_000)
+        assert all(v == sum(range(20)) for v in results.values())
+
+    def test_consecutive_barriers_multi_switch(self):
+        reps = 4
+        enters, exits, _ = run_barriers(
+            num_nodes=24, nic_based=True, algorithm="pe", repetitions=reps,
+        )
+        for rep in range(reps):
+            assert_barrier_safety(enters[rep], exits[rep])

@@ -1,0 +1,151 @@
+"""Tests for the crossbar switch and the assembled fabric."""
+
+import pytest
+
+from repro.network.fabric import Network, NetworkParams
+from repro.network.link import Channel
+from repro.network.packet import Packet, PacketType
+from repro.network.switch import CrossbarSwitch
+from repro.network.topology import multi_switch_topology, single_switch_topology
+from repro.sim.engine import Simulator
+
+
+class Collector:
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def receive_packet(self, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def make_packet(route, payload_bytes=0, **kw):
+    defaults = dict(
+        ptype=PacketType.DATA, src_node=0, src_port=2, dst_node=1, dst_port=2,
+        payload_bytes=payload_bytes, route=list(route),
+    )
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestCrossbarSwitch:
+    def _wire(self, sim, num_ports=4):
+        switch = CrossbarSwitch(sim, num_ports, routing_delay_us=0.35)
+        sinks, inputs = {}, {}
+        for p in range(num_ports):
+            out = Channel(sim, 160.0, 0.0, name=f"out{p}")
+            sink = Collector(sim)
+            out.connect(sink)
+            sinks[p] = sink
+            inputs[p] = switch.attach(p, out)
+        return switch, sinks, inputs
+
+    def test_routes_by_consuming_route_byte(self, sim):
+        switch, sinks, inputs = self._wire(sim)
+        pkt = make_packet(route=[3, 7])  # 3 consumed here, 7 left
+        inputs[0].receive_packet(pkt)
+        sim.run()
+        assert len(sinks[3].received) == 1
+        assert pkt.route == [7]
+
+    def test_routing_delay_applied(self, sim):
+        switch, sinks, inputs = self._wire(sim)
+        inputs[0].receive_packet(make_packet(route=[1], payload_bytes=144))
+        sim.run()
+        t, _ = sinks[1].received[0]
+        assert t == pytest.approx(0.35 + 1.0)
+
+    def test_output_contention_serializes(self, sim):
+        switch, sinks, inputs = self._wire(sim)
+        # Two inputs target output 2 at the same instant.
+        inputs[0].receive_packet(make_packet(route=[2], payload_bytes=144))
+        inputs[1].receive_packet(make_packet(route=[2], payload_bytes=144))
+        sim.run()
+        times = [t for t, _ in sinks[2].received]
+        assert times[0] == pytest.approx(1.35)
+        assert times[1] == pytest.approx(2.35)
+
+    def test_distinct_outputs_do_not_contend(self, sim):
+        switch, sinks, inputs = self._wire(sim)
+        inputs[0].receive_packet(make_packet(route=[2], payload_bytes=144))
+        inputs[1].receive_packet(make_packet(route=[3], payload_bytes=144))
+        sim.run()
+        assert sinks[2].received[0][0] == pytest.approx(1.35)
+        assert sinks[3].received[0][0] == pytest.approx(1.35)
+
+    def test_dead_end_port_drops(self, sim):
+        sim2 = Simulator()
+        switch = CrossbarSwitch(sim2, 4)
+        out = Channel(sim2, 160.0, 0.0)
+        out.connect(Collector(sim2))
+        inp = switch.attach(0, out)
+        inp.receive_packet(make_packet(route=[2]))  # port 2 not attached
+        sim2.run()
+        assert switch.packets_dead_ended == 1
+
+    def test_double_attach_rejected(self, sim):
+        switch = CrossbarSwitch(sim, 4)
+        out = Channel(sim, 160.0, 0.0)
+        switch.attach(0, out)
+        with pytest.raises(ValueError, match="already attached"):
+            switch.attach(0, out)
+
+    def test_port_out_of_range(self, sim):
+        switch = CrossbarSwitch(sim, 4)
+        with pytest.raises(ValueError):
+            switch.attach(9, Channel(sim, 160.0, 0.0))
+
+
+class TestNetwork:
+    def test_end_to_end_delivery_single_switch(self, sim):
+        net = Network(sim, single_switch_topology(4))
+        sinks = {i: Collector(sim) for i in range(4)}
+        tx = {i: net.attach_nic(i, sinks[i]) for i in range(4)}
+        pkt = make_packet(route=net.route_for(0, 3), dst_node=3)
+        tx[0].send(pkt)
+        sim.run()
+        assert len(sinks[3].received) == 1
+        assert pkt.route == []  # fully consumed
+
+    def test_end_to_end_delivery_multi_switch(self, sim):
+        topo = multi_switch_topology(40, switch_radix=16)
+        net = Network(sim, topo)
+        sinks = {i: Collector(sim) for i in range(40)}
+        tx = {i: net.attach_nic(i, sinks[i]) for i in range(40)}
+        pkt = make_packet(route=net.route_for(0, 39), dst_node=39)
+        tx[0].send(pkt)
+        sim.run()
+        assert len(sinks[39].received) == 1
+
+    def test_hop_count(self, sim):
+        topo = multi_switch_topology(40, switch_radix=16)
+        net = Network(sim, topo)
+        assert net.hop_count(0, 1) == 1
+        assert net.hop_count(0, 39) == 3
+
+    def test_route_for_returns_fresh_copies(self, sim):
+        net = Network(sim, single_switch_topology(4))
+        r1 = net.route_for(0, 1)
+        r1.pop()
+        assert net.route_for(0, 1) == [1]
+
+    def test_double_attach_rejected(self, sim):
+        net = Network(sim, single_switch_topology(2))
+        net.attach_nic(0, Collector(sim))
+        with pytest.raises(RuntimeError, match="already attached"):
+            net.attach_nic(0, Collector(sim))
+
+    def test_unknown_nic_attach_rejected(self, sim):
+        net = Network(sim, single_switch_topology(2))
+        with pytest.raises(ValueError, match="no attachment"):
+            net.attach_nic(7, Collector(sim))
+
+    def test_rx_channel_loss_injection_point(self, sim):
+        net = Network(sim, single_switch_topology(2))
+        sinks = {i: Collector(sim) for i in range(2)}
+        tx = {i: net.attach_nic(i, sinks[i]) for i in range(2)}
+        net.rx_channel(1).loss_filter = lambda p: True  # lose everything to 1
+        tx[0].send(make_packet(route=net.route_for(0, 1), dst_node=1))
+        sim.run()
+        assert sinks[1].received == []
+        assert net.rx_channel(1).packets_dropped == 1

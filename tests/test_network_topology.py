@@ -1,0 +1,137 @@
+"""Unit + property tests for topology builders and validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.routing import build_route_table, compute_route
+from repro.network.topology import (
+    LinkSpec,
+    SwitchSpec,
+    Topology,
+    multi_switch_topology,
+    single_switch_topology,
+)
+
+
+class TestSingleSwitch:
+    def test_paper_testbed_16(self):
+        topo = single_switch_topology(16)
+        assert len(topo.switches) == 1
+        assert topo.switches[0].num_ports == 16
+        assert topo.num_nics == 16
+
+    def test_default_port_count_rounds_up(self):
+        assert single_switch_topology(5).switches[0].num_ports == 8
+        assert single_switch_topology(9).switches[0].num_ports == 16
+
+    def test_explicit_ports_too_small(self):
+        with pytest.raises(ValueError):
+            single_switch_topology(10, num_ports=8)
+
+    def test_zero_nics_rejected(self):
+        with pytest.raises(ValueError):
+            single_switch_topology(0)
+
+
+class TestMultiSwitch:
+    def test_small_system_collapses_to_single_switch(self):
+        topo = multi_switch_topology(8, switch_radix=16)
+        assert len(topo.switches) == 1
+
+    def test_two_level_tree(self):
+        topo = multi_switch_topology(32, switch_radix=16)
+        assert topo.num_nics == 32
+        assert len(topo.switches) >= 3  # >= 2 leaves + root
+        topo.validate()
+
+    def test_large_system(self):
+        topo = multi_switch_topology(256, switch_radix=16)
+        assert topo.num_nics == 256
+        topo.validate()
+
+    def test_radix_too_small(self):
+        with pytest.raises(ValueError):
+            multi_switch_topology(10, switch_radix=2)
+
+    @given(st.integers(min_value=1, max_value=300), st.sampled_from([4, 8, 16]))
+    @settings(max_examples=40, deadline=None)
+    def test_all_sizes_validate_and_route(self, n, radix):
+        topo = multi_switch_topology(n, switch_radix=radix)
+        topo.validate()
+        assert topo.num_nics == n
+        # Spot-check connectivity between extreme NICs.
+        if n > 1:
+            route = compute_route(topo, 0, n - 1)
+            assert len(route) >= 1
+
+
+class TestValidation:
+    def test_double_cabled_port_rejected(self):
+        topo = Topology(
+            switches=[SwitchSpec(0, 4)],
+            nic_attachments={0: (0, 1), 1: (0, 1)},
+        )
+        with pytest.raises(ValueError, match="cabled twice"):
+            topo.validate()
+
+    def test_port_out_of_range_rejected(self):
+        topo = Topology(
+            switches=[SwitchSpec(0, 4)],
+            nic_attachments={0: (0, 7)},
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            topo.validate()
+
+    def test_unknown_switch_rejected(self):
+        topo = Topology(
+            switches=[SwitchSpec(0, 4)],
+            trunks=[LinkSpec(0, 0, 9, 0)],
+        )
+        with pytest.raises(ValueError, match="unknown switch"):
+            topo.validate()
+
+    def test_duplicate_switch_ids_rejected(self):
+        topo = Topology(switches=[SwitchSpec(0, 4), SwitchSpec(0, 8)])
+        with pytest.raises(ValueError, match="duplicate"):
+            topo.validate()
+
+
+class TestRouting:
+    def test_single_switch_route_is_destination_port(self):
+        topo = single_switch_topology(4)
+        assert compute_route(topo, 0, 3) == [3]
+        assert compute_route(topo, 3, 0) == [0]
+
+    def test_route_to_self_hairpins(self):
+        topo = single_switch_topology(4)
+        assert compute_route(topo, 2, 2) == [2]
+
+    def test_unknown_nic_rejected(self):
+        topo = single_switch_topology(4)
+        with pytest.raises(ValueError, match="unknown"):
+            compute_route(topo, 0, 99)
+
+    def test_multi_switch_routes_have_one_port_per_hop(self):
+        topo = multi_switch_topology(40, switch_radix=16)
+        # NICs on different leaves: route goes up and back down (3 hops).
+        route = compute_route(topo, 0, 39)
+        assert len(route) == 3
+
+    def test_no_path_raises(self):
+        topo = Topology(
+            switches=[SwitchSpec(0, 4), SwitchSpec(1, 4)],
+            nic_attachments={0: (0, 0), 1: (1, 0)},
+        )
+        with pytest.raises(ValueError, match="no path"):
+            compute_route(topo, 0, 1)
+
+    @given(st.integers(min_value=2, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_route_table_complete(self, n):
+        topo = multi_switch_topology(n, switch_radix=8)
+        table = build_route_table(topo)
+        assert len(table) == n * (n - 1)
+        for (a, b), route in table.items():
+            assert a != b
+            assert len(route) >= 1

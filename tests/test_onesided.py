@@ -1,0 +1,242 @@
+"""Tests for the one-sided Get/Put layer (Section 8's "Get/Put")."""
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.gm.onesided import (
+    ExposedRegion,
+    GetCompletedEvent,
+    OneSidedPort,
+    PutNotifyEvent,
+)
+from repro.network.packet import PacketType
+from repro.nic.nic import NicParams
+from repro.sim.primitives import Timeout
+
+
+def pair(**cfg_kw):
+    cluster = build_cluster(ClusterConfig(num_nodes=2, **cfg_kw))
+    a = cluster.open_port(0, 2)
+    b = cluster.open_port(1, 2)
+    return cluster, OneSidedPort(a), OneSidedPort(b)
+
+
+class TestExposedRegion:
+    def test_expose_registers_and_pins(self):
+        cluster, osa, osb = pair()
+        region = osb.expose_region(1024)
+        assert region.handle == (1, 2, region.region_id)
+        assert cluster.node(1).memory.pinned_bytes == 1024
+        assert region.region_id in osb.gm_port.port.exposed_regions
+
+    def test_unexpose(self):
+        cluster, _, osb = pair()
+        region = osb.expose_region(64)
+        osb.unexpose_region(region)
+        assert region.region_id not in osb.gm_port.port.exposed_regions
+
+    def test_bounds_check(self):
+        region = ExposedRegion(node_id=0, port_id=2, size_bytes=100)
+        region.check_bounds(0, 100)
+        with pytest.raises(ValueError, match="out of bounds"):
+            region.check_bounds(50, 51)
+        with pytest.raises(ValueError, match="out of bounds"):
+            region.check_bounds(-1, 10)
+
+    def test_invalid_size(self):
+        _, osa, _ = pair()
+        with pytest.raises(ValueError):
+            osa.expose_region(0)
+
+
+class TestPut:
+    def test_put_writes_remote_memory_without_remote_host(self):
+        """The defining property: the target process never polls, yet the
+        data lands in its memory."""
+        cluster, osa, osb = pair()
+        region = osb.expose_region(4096)
+
+        def writer():
+            yield from osa.put(region.handle, 0, "silent", 64)
+
+        cluster.spawn(writer())
+        cluster.run(max_events=1_000_000)
+        assert region.data[0] == "silent"
+        # No host event was posted at the target.
+        assert len(osb.gm_port.port.event_queue) == 0
+
+    def test_put_with_notify(self):
+        cluster, osa, osb = pair()
+        region = osb.expose_region(4096)
+        seen = {}
+
+        def writer():
+            yield from osa.put(region.handle, 128, "ding", 32, notify=True)
+
+        def target():
+            ev = yield from osb.gm_port.receive_where(
+                lambda e: isinstance(e, PutNotifyEvent)
+            )
+            seen["ev"] = ev
+
+        cluster.spawn(writer())
+        cluster.spawn(target())
+        cluster.run(max_events=1_000_000)
+        ev = seen["ev"]
+        assert (ev.src_node, ev.offset, ev.size_bytes) == (0, 128, 32)
+
+    def test_multiple_puts_distinct_offsets(self):
+        cluster, osa, osb = pair()
+        region = osb.expose_region(4096)
+
+        def writer():
+            for i in range(5):
+                yield from osa.put(region.handle, i * 100, f"v{i}", 64)
+
+        cluster.spawn(writer())
+        cluster.run(max_events=2_000_000)
+        assert region.data == {i * 100: f"v{i}" for i in range(5)}
+
+    def test_put_to_unknown_region_is_loud(self):
+        cluster, osa, _ = pair()
+
+        def writer():
+            yield from osa.put((1, 2, 9999), 0, "x", 16)
+
+        cluster.spawn(writer())
+        with pytest.raises(RuntimeError, match="unknown region"):
+            cluster.run(max_events=1_000_000)
+
+    def test_put_survives_packet_loss(self):
+        cluster, osa, osb = pair(
+            nic_params=NicParams(retransmit_timeout_us=300.0)
+        )
+        region = osb.expose_region(4096)
+
+        def drop_first_put(pkt):
+            if pkt.ptype is PacketType.PUT and not hasattr(drop_first_put, "hit"):
+                drop_first_put.hit = True
+                return True
+            return False
+
+        cluster.network.rx_channel(1).loss_filter = drop_first_put
+
+        def writer():
+            yield from osa.put(region.handle, 0, "resilient", 64)
+
+        cluster.spawn(writer())
+        cluster.run(max_events=2_000_000)
+        assert region.data[0] == "resilient"
+
+
+class TestGet:
+    def test_get_reads_remote_memory_without_remote_host(self):
+        """RDMA read: the remote NIC serves the data entirely in
+        firmware."""
+        cluster, osa, osb = pair()
+        region = osb.expose_region(4096)
+        region.data[256] = "server-side"
+        out = {}
+
+        def reader():
+            v = yield from osa.get_blocking(region.handle, 256, 64)
+            out["v"] = v
+
+        cluster.spawn(reader())
+        cluster.run(max_events=1_000_000)
+        assert out["v"] == "server-side"
+        # The remote host consumed no events.
+        assert len(osb.gm_port.port.event_queue) == 0
+
+    def test_get_unwritten_offset_returns_none(self):
+        cluster, osa, osb = pair()
+        region = osb.expose_region(4096)
+        out = {}
+
+        def reader():
+            out["v"] = yield from osa.get_blocking(region.handle, 0, 8)
+
+        cluster.spawn(reader())
+        cluster.run(max_events=1_000_000)
+        assert out["v"] is None
+
+    def test_put_then_get_roundtrip(self):
+        cluster, osa, osb = pair()
+        region = osb.expose_region(4096)
+        out = {}
+
+        def worker():
+            yield from osa.put(region.handle, 8, {"k": 1}, 128)
+            out["v"] = yield from osa.get_blocking(region.handle, 8, 128)
+
+        cluster.spawn(worker())
+        cluster.run(max_events=1_000_000)
+        assert out["v"] == {"k": 1}
+
+    def test_concurrent_gets_matched_by_id(self):
+        cluster, osa, osb = pair()
+        region = osb.expose_region(4096)
+        region.data[0] = "zero"
+        region.data[100] = "hundred"
+        out = {}
+
+        def reader():
+            id0 = yield from osa.get(region.handle, 0, 32)
+            id1 = yield from osa.get(region.handle, 100, 32)
+            ev1 = yield from osa.gm_port.receive_where(
+                lambda e: isinstance(e, GetCompletedEvent) and e.get_id == id1
+            )
+            ev0 = yield from osa.gm_port.receive_where(
+                lambda e: isinstance(e, GetCompletedEvent) and e.get_id == id0
+            )
+            out["pair"] = (ev0.value, ev1.value)
+
+        cluster.spawn(reader())
+        cluster.run(max_events=1_000_000)
+        assert out["pair"] == ("zero", "hundred")
+
+    def test_get_latency_less_than_two_host_messages(self):
+        """A GET round trip skips the remote host entirely, so it beats
+        an echo implemented with two host-level messages."""
+        from repro.gm.events import RecvEvent
+
+        # One-sided round trip.
+        cluster, osa, osb = pair()
+        region = osb.expose_region(4096)
+        t = {}
+
+        def reader():
+            yield from osa.get_blocking(region.handle, 0, 8)
+            t["onesided"] = cluster.now
+
+        cluster.spawn(reader())
+        cluster.run(max_events=1_000_000)
+
+        # Host-level echo.
+        cluster2 = build_cluster(ClusterConfig(num_nodes=2))
+        a2 = cluster2.open_port(0, 2)
+        b2 = cluster2.open_port(1, 2)
+
+        def pinger():
+            yield from a2.provide_receive_buffer()
+            yield from a2.send_with_callback(1, 2, payload="ping")
+            yield from a2.receive_where(lambda e: isinstance(e, RecvEvent))
+            t["hosted"] = cluster2.now
+
+        def echoer():
+            yield from b2.provide_receive_buffer()
+            yield from b2.receive_where(lambda e: isinstance(e, RecvEvent))
+            yield from b2.send_with_callback(0, 2, payload="pong")
+
+        cluster2.spawn(pinger())
+        cluster2.spawn(echoer())
+        cluster2.run(max_events=1_000_000)
+        assert t["onesided"] < t["hosted"]
+
+
+class TestRegionLifecycle:
+    def test_close_clears_regions(self):
+        cluster, _, osb = pair()
+        region = osb.expose_region(64)
+        osb.gm_port.close()
+        assert osb.gm_port.port.exposed_regions == {}

@@ -1,0 +1,65 @@
+"""Tests for the report-regeneration CLI."""
+
+import csv
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.report import (
+    HEADERS,
+    figure5_rows,
+    generate_figure5,
+    main,
+    render_report,
+)
+from repro.analysis.calibration import LANAI_7_2_SYSTEM
+
+
+@pytest.fixture(scope="module")
+def sweep72():
+    return generate_figure5(LANAI_7_2_SYSTEM, repetitions=2, warmup=1)
+
+
+class TestReportPieces:
+    def test_rows_structure(self, sweep72):
+        rows = figure5_rows(LANAI_7_2_SYSTEM, sweep72)
+        assert len(rows) == len(LANAI_7_2_SYSTEM.sizes)
+        for row in rows:
+            assert len(row) == len(HEADERS)
+            assert row[0] == "LANai 7.2"
+
+    def test_anchor_column_filled_at_published_sizes(self, sweep72):
+        rows = figure5_rows(LANAI_7_2_SYSTEM, sweep72)
+        by_n = {row[1]: row for row in rows}
+        assert by_n[8][-1] == pytest.approx(49.25)
+        assert by_n[2][-1] == ""
+
+    def test_render_report(self, sweep72):
+        rows = figure5_rows(LANAI_7_2_SYSTEM, sweep72)
+        text = render_report(rows)
+        assert "Figure 5" in text
+        assert "LANai 7.2" in text
+        assert "102.14" in text  # anchors footer
+
+
+class TestCliEndToEnd:
+    def test_main_writes_outputs(self, tmp_path, capsys):
+        rc = main(["--quick", "--system", "7.2", "--out", str(tmp_path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Figure 5" in captured.out
+        with open(tmp_path / "figure5.csv") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == HEADERS
+        assert len(rows) == 1 + len(LANAI_7_2_SYSTEM.sizes)
+        assert (tmp_path / "report.md").read_text().startswith("# Regenerated")
+
+    def test_module_entrypoint(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.report",
+             "--quick", "--system", "7.2"],
+            capture_output=True, text=True, timeout=600,
+        )
+        assert result.returncode == 0
+        assert "pe-factor" in result.stdout

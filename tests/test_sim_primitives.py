@@ -1,0 +1,235 @@
+"""Unit + property tests for Store, Resource and SimEvent."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.primitives import Resource, SimEvent, Store, Timeout
+from repro.sim.process import Process
+
+
+class TestSimEvent:
+    def test_succeed_once(self, sim):
+        ev = SimEvent(sim)
+        ev.succeed(1)
+        with pytest.raises(RuntimeError, match="already triggered"):
+            ev.succeed(2)
+
+    def test_value_before_fire_raises(self, sim):
+        ev = SimEvent(sim)
+        with pytest.raises(RuntimeError, match="not fired"):
+            _ = ev.value
+
+    def test_value_after_fail_raises_exception(self, sim):
+        ev = SimEvent(sim)
+        ev.fail(KeyError("k"))
+        with pytest.raises(KeyError):
+            _ = ev.value
+
+    def test_callback_after_fire_still_delivered(self, sim):
+        ev = SimEvent(sim)
+        ev.succeed("v")
+        seen = []
+        ev.add_callback(lambda v, e: seen.append((v, e)))
+        sim.run()
+        assert seen == [("v", None)]
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("a")
+        results = []
+
+        def getter():
+            v = yield store.get()
+            results.append(v)
+
+        Process(sim, getter())
+        sim.run()
+        assert results == ["a"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        results = []
+
+        def getter():
+            v = yield store.get()
+            results.append((sim.now, v))
+
+        Process(sim, getter())
+        sim.schedule(4.0, store.put, "late")
+        sim.run()
+        assert results == [(4.0, "late")]
+
+    def test_fifo_item_order(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        out = []
+
+        def getter():
+            for _ in range(5):
+                out.append((yield store.get()))
+
+        Process(sim, getter())
+        sim.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_fifo_getter_order(self, sim):
+        store = Store(sim)
+        out = []
+
+        def getter(tag):
+            v = yield store.get()
+            out.append((tag, v))
+
+        Process(sim, getter("first"))
+        Process(sim, getter("second"))
+        sim.schedule(1.0, store.put, "a")
+        sim.schedule(2.0, store.put, "b")
+        sim.run()
+        assert out == [("first", "a"), ("second", "b")]
+
+    def test_bounded_overflow_raises(self, sim):
+        store = Store(sim, capacity=2)
+        store.put(1)
+        store.put(2)
+        with pytest.raises(OverflowError):
+            store.put(3)
+
+    def test_try_get(self, sim):
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put("x")
+        assert store.try_get() == "x"
+        assert store.try_get() is None
+
+    def test_peek_does_not_consume(self, sim):
+        store = Store(sim)
+        store.put("x")
+        assert store.peek() == "x"
+        assert len(store) == 1
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+
+class TestResource:
+    def test_exclusive_use_serializes(self, sim):
+        res = Resource(sim, capacity=1)
+        spans = []
+
+        def worker(tag):
+            yield res.request()
+            start = sim.now
+            yield Timeout(10.0)
+            res.release()
+            spans.append((tag, start, sim.now))
+
+        Process(sim, worker("a"))
+        Process(sim, worker("b"))
+        sim.run()
+        assert spans == [("a", 0.0, 10.0), ("b", 10.0, 20.0)]
+
+    def test_capacity_allows_parallelism(self, sim):
+        res = Resource(sim, capacity=2)
+        done = []
+
+        def worker(tag):
+            yield from res.use(10.0)
+            done.append((tag, sim.now))
+
+        for tag in "abc":
+            Process(sim, worker(tag))
+        sim.run()
+        assert done == [("a", 10.0), ("b", 10.0), ("c", 20.0)]
+
+    def test_release_idle_raises(self, sim):
+        res = Resource(sim)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_fifo_grant_order(self, sim):
+        res = Resource(sim, capacity=1)
+        grants = []
+
+        def worker(tag, arrive):
+            yield Timeout(arrive)
+            yield res.request()
+            grants.append(tag)
+            yield Timeout(5.0)
+            res.release()
+
+        Process(sim, worker("a", 0.0))
+        Process(sim, worker("b", 1.0))
+        Process(sim, worker("c", 2.0))
+        sim.run()
+        assert grants == ["a", "b", "c"]
+
+    def test_utilization(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            yield from res.use(25.0)
+
+        Process(sim, worker())
+        sim.run(until=100.0)
+        assert res.utilization() == pytest.approx(0.25)
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+
+class TestStoreProperties:
+    @given(st.lists(st.integers(), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_store_preserves_order_and_content(self, items):
+        sim = Simulator()
+        store = Store(sim)
+        out = []
+
+        def producer():
+            for i, item in enumerate(items):
+                yield Timeout(0.5)
+                store.put(item)
+
+        def consumer():
+            for _ in items:
+                out.append((yield store.get()))
+
+        Process(sim, producer())
+        Process(sim, consumer())
+        sim.run()
+        assert out == items
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=10),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resource_never_exceeds_capacity(self, durations, capacity):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+        active = {"count": 0, "max": 0}
+
+        def worker(d):
+            yield res.request()
+            active["count"] += 1
+            active["max"] = max(active["max"], active["count"])
+            yield Timeout(d)
+            active["count"] -= 1
+            res.release()
+
+        for d in durations:
+            Process(sim, worker(d))
+        sim.run()
+        assert active["max"] <= capacity
+        assert active["count"] == 0
+        # Work conserving: total busy time equals sum of durations.
+        assert res.utilization() * sim.now * capacity == pytest.approx(
+            sum(durations)
+        )

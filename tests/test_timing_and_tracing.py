@@ -1,0 +1,154 @@
+"""Trace-based timing structure tests: the simulator's event ordering
+must match the paper's Figure 1/2 message-flow diagrams."""
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.cluster.runner import run_on_group
+from repro.core.barrier import barrier
+from repro.host.cpu import HostParams
+
+
+def run_traced(n=4, algorithm="pe", dimension=None, **cfg_kw):
+    cluster = build_cluster(ClusterConfig(num_nodes=n, trace=True, **cfg_kw))
+
+    def program(ctx):
+        yield from barrier(
+            ctx.port, ctx.group, ctx.rank,
+            algorithm=algorithm, dimension=dimension,
+        )
+        return ctx.now
+
+    results = run_on_group(cluster, program, max_events=5_000_000)
+    return cluster, results
+
+
+def events_for(cluster, node, label):
+    return cluster.tracer.filter(category=f"nic{node}", label=label)
+
+
+class TestBarrierTraceStructure:
+    def test_initiate_precedes_first_send(self):
+        cluster, _ = run_traced()
+        for node in range(4):
+            init = events_for(cluster, node, "barrier.initiate")
+            sends = events_for(cluster, node, "barrier.send")
+            assert init and sends
+            assert init[0].time <= sends[0].time
+
+    def test_pe_sends_follow_step_order(self):
+        cluster, _ = run_traced(n=8)
+        for node in range(8):
+            sends = events_for(cluster, node, "barrier.send")
+            # log2(8) = 3 sends, strictly ordered in time.
+            assert len(sends) == 3
+            times = [e.time for e in sends]
+            assert times == sorted(times)
+            # Destinations follow the XOR schedule.
+            dsts = [e.payload["dst"][0] for e in sends]
+            assert dsts == [node ^ 1, node ^ 2, node ^ 4]
+
+    def test_completion_is_last_barrier_event_per_node(self):
+        cluster, _ = run_traced()
+        for node in range(4):
+            events = [
+                e
+                for e in cluster.tracer.filter(category=f"nic{node}")
+                if e.label.startswith("barrier.")
+            ]
+            assert events[-1].label == "barrier.complete"
+
+    def test_gb_root_completes_before_sending_bcast(self):
+        """The paper's Section 5.2 ordering: "the RDMA state machine sends
+        a receive token to the host ... Then the send token is prepared to
+        send a barrier broadcast packet to the first child"."""
+        cluster, _ = run_traced(n=4, algorithm="gb", dimension=3)
+        complete = events_for(cluster, 0, "barrier.complete")
+        bcast_sends = [
+            e for e in events_for(cluster, 0, "barrier.send")
+            if e.payload.get("type") == "barrier_bcast"
+        ]
+        assert complete and bcast_sends
+        assert complete[0].time <= bcast_sends[0].time
+
+    def test_gb_bcast_sends_are_sequential(self):
+        cluster, _ = run_traced(n=8, algorithm="gb", dimension=7)
+        bcast_sends = [
+            e for e in events_for(cluster, 0, "barrier.send")
+            if e.payload.get("type") == "barrier_bcast"
+        ]
+        assert len(bcast_sends) == 7
+        times = [e.time for e in bcast_sends]
+        assert times == sorted(times)
+        # Strictly sequential: each send pays prep + requeue on the NIC.
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g > 0 for g in gaps)
+
+    def test_host_exit_after_nic_completion(self):
+        cluster, results = run_traced()
+        last_complete = max(
+            e.time
+            for node in range(4)
+            for e in events_for(cluster, node, "barrier.complete")
+        )
+        # Hosts observe completion strictly after the NIC posted it
+        # (RDMA + polling + HRecv).
+        assert min(results) > 0
+        assert max(results) >= last_complete
+
+
+class TestHostCpuModel:
+    def test_single_cpu_node_serializes_polling_and_compute(self):
+        """With one host CPU, a compute-heavy coresident process delays
+        the barrier's polling; with two CPUs it does not (the testbed
+        was dual-processor)."""
+
+        def run(num_cpus):
+            cluster = build_cluster(
+                ClusterConfig(
+                    num_nodes=2,
+                    host_params=HostParams(num_cpus=num_cpus),
+                )
+            )
+            group = ((0, 2), (1, 2))
+            done = {}
+
+            def barrier_prog(port, rank):
+                for _ in range(3):
+                    yield from barrier(port, group, rank)
+                done[rank] = cluster.now
+
+            def cruncher(node):
+                # A coresident compute hog on node 0.
+                for _ in range(200):
+                    yield from node.compute(10.0)
+
+            cluster.spawn(barrier_prog(cluster.open_port(0, 2), 0))
+            cluster.spawn(barrier_prog(cluster.open_port(1, 2), 1))
+            cluster.spawn(cruncher(cluster.node(0)))
+            cluster.run(max_events=5_000_000)
+            return max(done.values())
+
+        dual = run(2)
+        single = run(1)
+        assert single > dual
+
+    def test_extra_overhead_inflates_host_barrier_only_modestly_nic(self):
+        from repro.analysis.experiments import measure_barrier
+
+        base = ClusterConfig(num_nodes=8)
+        heavy = base.with_(host_params=HostParams(extra_overhead_us=10.0))
+        host_delta = (
+            measure_barrier(heavy, nic_based=False, algorithm="pe",
+                            repetitions=3, warmup=1).mean_latency_us
+            - measure_barrier(base, nic_based=False, algorithm="pe",
+                              repetitions=3, warmup=1).mean_latency_us
+        )
+        nic_delta = (
+            measure_barrier(heavy, nic_based=True, algorithm="pe",
+                            repetitions=3, warmup=1).mean_latency_us
+            - measure_barrier(base, nic_based=True, algorithm="pe",
+                              repetitions=3, warmup=1).mean_latency_us
+        )
+        # Host-based pays the overhead log2(N) times; NIC-based ~once.
+        assert host_delta > 2.5 * nic_delta

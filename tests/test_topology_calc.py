@@ -1,0 +1,235 @@
+"""Unit + property tests for host-side barrier plan computation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topology_calc import (
+    gb_plan,
+    gb_tree,
+    gb_tree_height,
+    pe_plan,
+    pe_schedule,
+)
+
+
+def make_group(n, port=2):
+    return [(i, port) for i in range(n)]
+
+
+class TestPeSchedule:
+    def test_power_of_two_is_pure_exchanges(self):
+        for n in (2, 4, 8, 16, 32):
+            for rank in range(n):
+                sched = pe_schedule(n, rank)
+                assert len(sched) == int(math.log2(n))
+                assert all(s["kind"] == "exchange" for s in sched)
+
+    def test_xor_pairing(self):
+        sched = pe_schedule(8, 3)
+        assert [s["peer"] for s in sched] == [3 ^ 1, 3 ^ 2, 3 ^ 4]
+
+    def test_pairing_is_symmetric(self):
+        # If rank a exchanges with b at step k, b exchanges with a at k.
+        for n in (2, 4, 8, 16):
+            for rank in range(n):
+                for k, step in enumerate(pe_schedule(n, rank)):
+                    peer_sched = pe_schedule(n, step["peer"])
+                    assert peer_sched[k]["peer"] == rank
+
+    def test_single_rank_empty(self):
+        assert pe_schedule(1, 0) == []
+
+    def test_extra_rank_notify_release(self):
+        # n=5: m=4, rank 4 is the extra; proxy is rank 0.
+        sched = pe_schedule(5, 4)
+        assert sched == [
+            {"kind": "send", "peer": 0},
+            {"kind": "recv", "peer": 0},
+        ]
+
+    def test_proxy_rank_absorbs_and_releases(self):
+        sched = pe_schedule(5, 0)
+        assert sched[0] == {"kind": "recv", "peer": 4}
+        assert sched[-1] == {"kind": "send", "peer": 4}
+        middle = sched[1:-1]
+        assert all(s["kind"] == "exchange" for s in middle)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            pe_schedule(0, 0)
+        with pytest.raises(ValueError):
+            pe_schedule(4, 4)
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=64, deadline=None)
+    def test_schedule_realizes_a_correct_barrier(self, n):
+        """Execute the schedules as an asynchronous message-passing system:
+        the barrier is correct iff every rank terminates (no deadlock) and
+        finishes only after transitively hearing from all ranks."""
+        # Expand each step into micro-ops; an exchange is send-then-recv.
+        programs = {}
+        for r in range(n):
+            ops = []
+            for s in pe_schedule(n, r):
+                if s["kind"] in ("send", "exchange"):
+                    ops.append(("send", s["peer"]))
+                if s["kind"] in ("recv", "exchange"):
+                    ops.append(("recv", s["peer"]))
+            programs[r] = ops
+        pc = {r: 0 for r in range(n)}
+        knowledge = {r: {r} for r in range(n)}
+        channels: dict = {}  # (src, dst) -> FIFO of knowledge snapshots
+        progress = True
+        while progress:
+            progress = False
+            for r in range(n):
+                while pc[r] < len(programs[r]):
+                    op, peer = programs[r][pc[r]]
+                    if op == "send":
+                        channels.setdefault((r, peer), []).append(
+                            set(knowledge[r])
+                        )
+                        pc[r] += 1
+                        progress = True
+                    else:  # recv: blocks until a message is available
+                        queue = channels.get((peer, r), [])
+                        if not queue:
+                            break
+                        knowledge[r] |= queue.pop(0)
+                        pc[r] += 1
+                        progress = True
+        for r in range(n):
+            assert pc[r] == len(programs[r]), f"rank {r} deadlocked"
+            assert knowledge[r] == set(range(n)), (
+                f"rank {r} finished knowing only {sorted(knowledge[r])}"
+            )
+
+
+class TestPePlan:
+    def test_steps_match_schedule_power_of_two(self):
+        group = make_group(8)
+        plan = pe_plan(group, 5)
+        assert plan.algorithm == "pe"
+        assert [s.peer for s in plan.steps] == [(5 ^ 1, 2), (5 ^ 2, 2), (5 ^ 4, 2)]
+        assert all(s.send and s.recv for s in plan.steps)
+
+    def test_extra_rank_fuses_notify_wait(self):
+        group = make_group(5)
+        plan = pe_plan(group, 4)
+        assert len(plan.steps) == 1
+        assert plan.steps[0].send and plan.steps[0].recv
+        assert plan.steps[0].peer == (0, 2)
+
+    def test_proxy_rank_has_recv_only_and_send_only(self):
+        group = make_group(5)
+        plan = pe_plan(group, 0)
+        assert plan.steps[0].recv and not plan.steps[0].send
+        assert plan.steps[-1].send and not plan.steps[-1].recv
+
+    def test_duplicate_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            pe_plan([(0, 2), (0, 2)], 0)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            pe_plan(make_group(4), 4)
+
+
+class TestGbTree:
+    def test_root_has_no_parent(self):
+        parent, children = gb_tree(8, 0, 2)
+        assert parent is None
+        assert children == [1, 2]
+
+    def test_heap_layout(self):
+        parent, children = gb_tree(16, 3, 2)
+        assert parent == 1
+        assert children == [7, 8]
+
+    def test_dimension_one_is_a_chain(self):
+        for rank in range(1, 6):
+            parent, children = gb_tree(6, rank, 1)
+            assert parent == rank - 1
+            assert children == ([rank + 1] if rank + 1 < 6 else [])
+
+    def test_dimension_n_minus_one_is_a_star(self):
+        n = 8
+        parent, children = gb_tree(n, 0, n - 1)
+        assert children == list(range(1, n))
+        for rank in range(1, n):
+            parent, children = gb_tree(n, rank, n - 1)
+            assert parent == 0
+            assert children == []
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            gb_tree(8, 0, 0)
+        with pytest.raises(ValueError):
+            gb_tree(8, 0, 8)
+
+    def test_single_node(self):
+        assert gb_tree(1, 0, 1) == (None, [])
+
+    @given(
+        st.integers(min_value=2, max_value=64),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tree_invariants(self, n, data):
+        """Every non-root has exactly one parent; parent/child relations
+        are mutual; the tree is connected and spans all ranks."""
+        dim = data.draw(st.integers(min_value=1, max_value=n - 1))
+        parents = {}
+        for rank in range(n):
+            parent, children = gb_tree(n, rank, dim)
+            for c in children:
+                assert 0 <= c < n
+                parents[c] = rank
+            if parent is not None:
+                # mutual: rank appears in parent's child list
+                _, pc = gb_tree(n, parent, dim)
+                assert rank in pc
+        assert 0 not in parents
+        assert set(parents) == set(range(1, n))
+        # connected: walk every rank to the root
+        for rank in range(1, n):
+            seen = set()
+            cur = rank
+            while cur != 0:
+                assert cur not in seen, "cycle detected"
+                seen.add(cur)
+                cur = parents[cur]
+
+    @given(st.integers(min_value=2, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_height_matches_walk(self, n):
+        for dim in (1, 2, 3, n - 1):
+            if dim > n - 1:
+                continue
+            h = gb_tree_height(n, dim)
+            # chain: n-1; star: 1
+            if dim == 1:
+                assert h == n - 1
+            if dim == n - 1:
+                assert h == 1
+
+
+class TestGbPlan:
+    def test_endpoints_mapped(self):
+        group = [(10, 2), (11, 2), (12, 4), (13, 2)]
+        plan = gb_plan(group, 1, 2)
+        assert plan.parent == (10, 2)
+        assert plan.children == ((13, 2),)
+
+    def test_root_plan(self):
+        plan = gb_plan(make_group(4), 0, 3)
+        assert plan.is_root
+        assert len(plan.children) == 3
+
+    def test_single_member_group(self):
+        plan = gb_plan([(0, 2)], 0, 1)
+        assert plan.parent is None
+        assert plan.children == ()

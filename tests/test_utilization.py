@@ -1,0 +1,51 @@
+"""Tests for the host-utilization analysis (the paper's fuzzy-barrier
+claim, Section 1)."""
+
+import pytest
+
+from repro.analysis.utilization import (
+    UtilizationResult,
+    measure_utilization,
+    utilization_comparison,
+)
+
+
+class TestUtilizationResult:
+    def test_derived_quantities(self):
+        r = UtilizationResult(
+            mode="nic", total_time_us=1000.0, useful_compute_us=400.0,
+            iterations=10,
+        )
+        assert r.compute_fraction == pytest.approx(0.4)
+        assert r.time_per_iteration_us == pytest.approx(100.0)
+
+
+class TestMeasureUtilization:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            measure_utilization("turbo")
+
+    @pytest.mark.parametrize("mode", ["host", "nic", "fuzzy"])
+    def test_each_mode_completes(self, mode):
+        r = measure_utilization(
+            mode, num_nodes=4, iterations=3, work_per_iteration_us=30.0
+        )
+        assert r.iterations == 3
+        assert r.useful_compute_us == pytest.approx(3 * 30.0)
+        assert r.total_time_us > r.useful_compute_us
+        assert 0 < r.compute_fraction < 1
+
+    def test_fuzzy_beats_blocking_nic_beats_host(self):
+        results = utilization_comparison(
+            num_nodes=4, iterations=4, work_per_iteration_us=60.0
+        )
+        assert (
+            results["host"].compute_fraction
+            < results["nic"].compute_fraction
+            < results["fuzzy"].compute_fraction
+        )
+
+    def test_utilization_deterministic(self):
+        a = measure_utilization("fuzzy", num_nodes=4, iterations=3)
+        b = measure_utilization("fuzzy", num_nodes=4, iterations=3)
+        assert a.total_time_us == b.total_time_us
