@@ -49,6 +49,20 @@ def emit(title: str, headers, rows) -> None:
     print(format_table(headers, rows, title=title))
 
 
+def emit_metrics(cluster, title: str = "metrics") -> None:
+    """Print a cluster's metrics-registry table (visible with -s).
+
+    Benches that build their cluster with ``metrics=True`` can call this
+    after the run to append the per-component observability table (NIC
+    busy time, link utilization, resend counters) to their report.
+    """
+    from repro.analysis.report import metrics_table
+
+    print()
+    print(title)
+    print(metrics_table(cluster.metrics))
+
+
 def latency_rows(system, sweep) -> list:
     rows = []
     for n in system.sizes:

@@ -4,6 +4,13 @@
 Figure 5 sweeps on both simulated testbeds, prints the
 paper-vs-measured tables, and (with ``--out``) writes ``figure5.csv`` and
 ``report.md`` so results can be diffed across revisions.
+
+``python -m repro.analysis.report --observe N [--trace-out FILE]``
+instead runs one instrumented N-node dissemination barrier with the
+metrics registry live and prints the per-component metrics table (NIC
+busy time, link utilization, resend counters); ``--trace-out`` also
+writes the run as Chrome trace_event JSON for ``chrome://tracing`` /
+Perfetto (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -73,6 +80,59 @@ HEADERS = [
 ]
 
 
+# ----------------------------------------------------------------------
+# Observability: metrics table + instrumented runs
+# ----------------------------------------------------------------------
+def metrics_table(registry, skip_zero: bool = True) -> str:
+    """Render a :class:`~repro.sim.metrics.MetricsRegistry` snapshot.
+
+    Uses the same table formatter as the Figure-5 output so benchmark
+    scripts can append a metrics section to their reports.
+    """
+    rows: List[list] = []
+    for name, value in registry.rows(skip_zero=skip_zero):
+        if isinstance(value, float) and not value.is_integer():
+            rows.append([name, round(value, 3)])
+        else:
+            rows.append([name, int(value)])
+    return format_table(["metric", "value"], rows)
+
+
+def run_observed_barrier(
+    num_nodes: int = 16,
+    algorithm: str = "dissemination",
+    repetitions: int = 4,
+    trace_path: Optional[Path] = None,
+):
+    """Run consecutive NIC barriers with metrics + tracing live.
+
+    Returns the finished cluster; read ``cluster.metrics`` for the
+    registry and ``cluster.tracer`` for the event timeline.  With
+    ``trace_path`` the timeline is also written as Chrome trace_event
+    JSON.
+    """
+    from repro.cluster.builder import ClusterConfig, build_cluster
+    from repro.cluster.runner import default_group, run_on_group
+    from repro.core.barrier import barrier as nic_barrier_op
+
+    config = ClusterConfig(num_nodes=num_nodes, metrics=True, trace=True)
+    cluster = build_cluster(config)
+
+    def program(ctx):
+        for _ in range(repetitions):
+            yield from nic_barrier_op(
+                ctx.port, ctx.group, ctx.rank, algorithm=algorithm
+            )
+        return ctx.now
+
+    run_on_group(
+        cluster, program, group=default_group(cluster), max_events=20_000_000
+    )
+    if trace_path is not None:
+        cluster.tracer.write_chrome_trace(trace_path)
+    return cluster
+
+
 def render_report(all_rows: List[list]) -> str:
     """Render the markdown report (table + per-card charts)."""
     out = io.StringIO()
@@ -127,7 +187,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="directory for figure5.csv and report.md")
     parser.add_argument("--system", choices=["4.3", "7.2", "both"],
                         default="both")
+    parser.add_argument("--observe", type=int, metavar="N", default=None,
+                        help="run one instrumented N-node dissemination "
+                             "barrier and print the metrics table")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        help="with --observe: write the run as Chrome "
+                             "trace_event JSON to this file")
     args = parser.parse_args(argv)
+
+    if args.observe is not None:
+        cluster = run_observed_barrier(
+            num_nodes=args.observe, trace_path=args.trace_out
+        )
+        print(metrics_table(cluster.metrics))
+        if args.trace_out is not None:
+            print(f"wrote {args.trace_out}", file=sys.stderr)
+        return 0
 
     reps = 3 if args.quick else 6
     warmup = 1 if args.quick else 2

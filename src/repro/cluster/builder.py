@@ -41,6 +41,11 @@ class ClusterConfig:
     topology: Optional[Topology] = None
     seed: int = 0
     trace: bool = False
+    #: Build the simulation with a live metrics registry (see
+    #: :mod:`repro.sim.metrics`); off by default for speed.
+    metrics: bool = False
+    #: Enable the per-callback-owner wall-clock profiler in the engine.
+    profile: bool = False
 
     def with_(self, **changes) -> "ClusterConfig":
         """A copy of this config with the given fields replaced."""
@@ -60,7 +65,9 @@ class Cluster:
 
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(
+            metrics_enabled=config.metrics, profile=config.profile
+        )
         self.rng = SimRng(config.seed)
         self.tracer = Tracer(self.sim, enabled=config.trace)
         topology = config.make_topology()
@@ -105,6 +112,11 @@ class Cluster:
     def now(self) -> float:
         """Current simulated time in microseconds."""
         return self.sim.now
+
+    @property
+    def metrics(self):
+        """The simulation metrics registry (null when not enabled)."""
+        return self.sim.metrics
 
 
 def build_cluster(config: Optional[ClusterConfig] = None, **overrides) -> Cluster:

@@ -69,6 +69,14 @@ class NicBarrierEngine:
         self.unexpected_recorded = 0
         self.rejects_sent = 0
         self.resends = 0
+        metrics = nic.sim.metrics
+        prefix = f"nic{nic.node_id}.barrier"
+        metrics.observe(f"{prefix}.initiated", lambda: self.barriers_initiated)
+        metrics.observe(f"{prefix}.unexpected", lambda: self.unexpected_recorded)
+        metrics.observe(f"{prefix}.rejects", lambda: self.rejects_sent)
+        metrics.observe(f"{prefix}.resends", lambda: self.resends)
+        #: Host-queue-to-NIC-complete latency of each finished barrier.
+        self._latency_hist = metrics.histogram(f"{prefix}.latency_us")
 
     # ------------------------------------------------------------------
     # Helpers
@@ -116,6 +124,11 @@ class NicBarrierEngine:
         self._remember(port_id, token)
         self.barriers_initiated += 1
         self.trace("initiate", port=port_id, alg=token.algorithm, seq=token.barrier_seq)
+        # Phase-span begin records ("<alg>.begin"/"<alg>.end" pairs are
+        # auto-discovered by Tracer.to_chrome_trace).
+        self.trace(f"{token.algorithm}.begin", port=port_id, key=token.barrier_seq)
+        if token.algorithm == "gb":
+            self.trace("gb.gather.begin", port=port_id, key=token.barrier_seq)
 
         if token.algorithm == "pe":
             yield from self._pe_loop(port, token)
@@ -196,6 +209,7 @@ class NicBarrierEngine:
                 token.gather_pending.discard(child)
         if token.phase == "gather" and not token.gather_pending:
             token.phase = "gathers_done"
+            self.trace("gb.gather.end", port=port.port_id, key=token.barrier_seq)
             yield from self._gb_all_gathers_in(port, token)
 
     def _gb_all_gathers_in(self, port: NicPort, token: BarrierSendToken):
@@ -230,6 +244,7 @@ class NicBarrierEngine:
             nic.sdma_inbox.put(("barrier_bcast", port_id, token))
         else:
             token.phase = "done"
+            self.trace("gb.bcast.end", port=port_id, key=token.barrier_seq)
 
     # ------------------------------------------------------------------
     # RDMA-side entry points
@@ -296,6 +311,9 @@ class NicBarrierEngine:
                     # Claim the transition atomically (the SDMA-side
                     # initiate scan also checks the phase).
                     token.phase = "gathers_done"
+                    self.trace(
+                        "gb.gather.end", port=port.port_id, key=token.barrier_seq
+                    )
                 # ---- end of atomic block ----
                 yield from self.cpu("gb_gather_check")
                 if all_in:
@@ -352,10 +370,14 @@ class NicBarrierEngine:
                 nic_complete_time=nic_complete_time,
             ),
         )
+        self.trace(f"{token.algorithm}.end", port=port_id, key=token.barrier_seq)
         self.trace("complete", port=port_id, seq=token.barrier_seq)
+        if token.queued_at is not None:
+            self._latency_hist.observe(nic_complete_time - token.queued_at)
         if token.algorithm == "gb":
             if token.phase == "bcast" and token.children:
                 token.bcast_index = 0
+                self.trace("gb.bcast.begin", port=port_id, key=token.barrier_seq)
                 nic.sdma_inbox.put(("barrier_bcast", port_id, token))
             else:
                 token.phase = "done"
@@ -465,29 +487,38 @@ class NicBarrierEngine:
             return
         rejector: Endpoint = (packet.src_node, packet.src_port)
         ring = self._recent_tokens.get(packet.dst_port, ())
-        for token in reversed(ring):
+        # Every live message type sent to the rejector must go out again:
+        # a PE gather and a GB broadcast (or two phases of one algorithm)
+        # can both be outstanding to the same slow-opening peer, and the
+        # peer's barrier stalls on whichever one we skip.  Walk the ring
+        # oldest-first so resends arrive in barrier order.
+        resends: list = []
+        seen: set = set()
+        for token in ring:
             if token.owner_generation != port.generation:
                 continue
-            matches = [
-                (ep, ptype_val)
-                for (ep, ptype_val) in token.sent_to
-                if ep == rejector
-            ]
-            if not matches:
-                continue
+            for ep, ptype_val in token.sent_to:
+                if ep != rejector:
+                    continue
+                key = (id(token), ptype_val)
+                if key not in seen:
+                    seen.add(key)
+                    resends.append((token, ptype_val))
+        if resends:
             # Drop superseded SEPARATE-mode retransmission state for this
-            # destination before resending with a fresh seqno.
+            # destination before resending with fresh seqnos.
             conn = nic.connection(rejector[0])
+            src_ports = {token.src_port for token, _ in resends}
             conn.barrier_unacked = [
                 e
                 for e in conn.barrier_unacked
                 if not (
-                    e.src_port == token.src_port
+                    e.src_port in src_ports
                     and e.packet.dst_port == rejector[1]
                 )
             ]
             nic.manage_barrier_retransmit_timer(conn)
-            for _, ptype_val in matches[-1:]:
+            for token, ptype_val in resends:
                 nic.sdma_inbox.put(
                     (
                         "barrier_resend",
@@ -497,7 +528,6 @@ class NicBarrierEngine:
                         PacketType(ptype_val),
                     )
                 )
-            break
         yield from ()
 
     def _resend(

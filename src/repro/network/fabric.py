@@ -63,11 +63,21 @@ class Network:
         self._attached: Dict[int, bool] = {}
 
         for spec in topology.switches:
-            self._switches[spec.switch_id] = CrossbarSwitch(
+            switch = CrossbarSwitch(
                 sim,
                 spec.num_ports,
                 routing_delay_us=self.params.routing_delay_us,
                 switch_id=spec.switch_id,
+            )
+            self._switches[spec.switch_id] = switch
+            metrics = sim.metrics
+            metrics.observe(
+                f"{switch.name}.packets_routed",
+                lambda sw=switch: sw.packets_routed,
+            )
+            metrics.observe(
+                f"{switch.name}.output_stalls",
+                lambda sw=switch: sum(sw.output_stalls.values()),
             )
 
         # Inter-switch trunks: a pair of channels wired into both switches.
@@ -82,12 +92,17 @@ class Network:
             b_out.connect(sink_at_a)
 
     def _make_channel(self, name: str) -> Channel:
-        return Channel(
+        ch = Channel(
             self.sim,
             self.params.bandwidth_mbps,
             self.params.propagation_us,
             name=name,
         )
+        metrics = self.sim.metrics
+        metrics.observe(f"link.{name}.bytes", lambda c=ch: c.bytes_sent)
+        metrics.observe(f"link.{name}.utilization", lambda c=ch: c.utilization())
+        metrics.observe(f"link.{name}.queue_hw", lambda c=ch: c.max_queue_depth)
+        return ch
 
     # ------------------------------------------------------------------
     def attach_nic(self, nic_id: int, sink: PacketSink) -> Channel:

@@ -72,6 +72,11 @@ class Channel:
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
+        #: Simulated wire-occupancy integral (serialization time of every
+        #: packet put on the wire, dropped ones included).
+        self.busy_us = 0.0
+        #: Deepest backlog (queued + on wire) seen.
+        self.max_queue_depth = 0
 
     def connect(self, sink: PacketSink) -> None:
         """Attach the delivery target at the far end."""
@@ -83,6 +88,9 @@ class Channel:
         if self.sink is None:
             raise RuntimeError(f"channel {self.name!r} has no sink connected")
         self._queue.append(packet)
+        depth = self.queue_depth
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
         if not self._busy:
             self._start_next()
 
@@ -95,6 +103,13 @@ class Channel:
         """Wire occupancy time for one packet."""
         return packet.size_bytes / self.bandwidth_mbps
 
+    def utilization(self, since: float = 0.0) -> float:
+        """Busy fraction of the wire over the window from ``since`` to now."""
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_us / elapsed
+
     # ------------------------------------------------------------------
     def _start_next(self) -> None:
         if not self._queue:
@@ -103,6 +118,7 @@ class Channel:
         self._busy = True
         packet = self._queue.popleft()
         ser = self.serialization_time(packet)
+        self.busy_us += ser
         dropped = self.loss_filter is not None and self.loss_filter(packet)
         if dropped:
             self.packets_dropped += 1

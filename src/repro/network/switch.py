@@ -64,6 +64,9 @@ class CrossbarSwitch:
         #: Counters for tests.
         self.packets_routed = 0
         self.packets_dead_ended = 0
+        #: Per-output-port count of packets routed to a port whose channel
+        #: already had traffic queued or on the wire (arbitration stalls).
+        self.output_stalls: Dict[int, int] = {}
 
     def attach(self, port_index: int, output_channel: Channel) -> PacketSink:
         """Wire ``port_index``: packets routed to it leave on
@@ -94,6 +97,8 @@ class CrossbarSwitch:
             self.packets_dead_ended += 1
             return
         self.packets_routed += 1
+        if channel.queue_depth > 0:
+            self.output_stalls[out_port] = self.output_stalls.get(out_port, 0) + 1
         self.sim.schedule(self.routing_delay_us, channel.send, packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

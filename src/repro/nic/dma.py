@@ -43,6 +43,15 @@ class DmaEngine:
         self.name = name
         self.transfers = 0
         self.bytes_moved = 0
+        metrics = sim.metrics
+        prefix = name or "dma"
+        metrics.observe(f"{prefix}.transfers", lambda: self.transfers)
+        metrics.observe(f"{prefix}.bytes", lambda: self.bytes_moved)
+        #: Simulated time this engine holds the PCI bus (merged intervals).
+        self._busy = metrics.busy_time(f"{prefix}.busy")
+        #: Time spent waiting for the bus before each transfer -- the PCI
+        #: contention term of the paper's Send/RDMA decomposition.
+        self._pci_wait = metrics.histogram(f"{prefix}.pci_wait_us")
 
     def transfer_time(self, size_bytes: int) -> float:
         """Bus-occupancy time for a transfer of ``size_bytes``."""
@@ -55,10 +64,14 @@ class DmaEngine:
         """
         if size_bytes < 0:
             raise ValueError("negative DMA size")
+        requested_at = self.sim.now
         yield self.pci_bus.request()
+        self._pci_wait.observe(self.sim.now - requested_at)
+        self._busy.begin()
         try:
             yield Timeout(self.transfer_time(size_bytes))
             self.transfers += 1
             self.bytes_moved += size_bytes
         finally:
+            self._busy.end()
             self.pci_bus.release()

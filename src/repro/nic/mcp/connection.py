@@ -144,6 +144,10 @@ class Connection:
         self.packets_retransmitted = 0
         self.nacks_sent = 0
         self.duplicates_dropped = 0
+        #: Go-back-N window occupancy high-water marks (regular sent list
+        #: and the SEPARATE-mode barrier unacked list).
+        self.sent_list_high_water = 0
+        self.barrier_unacked_high_water = 0
 
     # ------------------------------------------------------------------
     # Regular stream, send side
@@ -157,6 +161,8 @@ class Connection:
     def record_sent(self, entry: SentEntry) -> None:
         """Append to the sent list (awaiting ACK)."""
         self.sent_list.append(entry)
+        if len(self.sent_list) > self.sent_list_high_water:
+            self.sent_list_high_water = len(self.sent_list)
 
     def handle_ack(self, cum_seqno: int) -> List[SentEntry]:
         """Cumulative ACK: drop entries with seqno <= cum, return them."""
@@ -198,6 +204,8 @@ class Connection:
     def record_barrier_sent(self, entry: BarrierUnacked) -> None:
         """Track an unacknowledged SEPARATE-mode barrier packet."""
         self.barrier_unacked.append(entry)
+        if len(self.barrier_unacked) > self.barrier_unacked_high_water:
+            self.barrier_unacked_high_water = len(self.barrier_unacked)
 
     def handle_barrier_ack(self, src_port: int, barrier_seqno: int) -> bool:
         """Drop the matching unacked entry; True if one was found."""

@@ -133,6 +133,59 @@ class Nic:
         self.recv_machine = RecvMachine(self)
         self.rdma_machine = RdmaMachine(self)
 
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Expose this NIC's counters to the simulation metrics registry.
+
+        All sources are the plain attributes the NIC already keeps;
+        nothing here runs until a snapshot is taken (and a disabled
+        registry drops the registrations outright).
+        """
+        metrics = self.sim.metrics
+        if not metrics.enabled:
+            return
+        prefix = f"nic{self.node_id}"
+        metrics.observe(
+            f"{prefix}.cpu.busy_us", lambda: self.cpu_resource.busy_us
+        )
+        metrics.observe(
+            f"{prefix}.cpu.utilization", lambda: self.cpu_resource.utilization()
+        )
+        for store_name, store in (
+            ("sdma_inbox", self.sdma_inbox),
+            ("send_q", self.send_queue),
+            ("recv_q", self.recv_queue),
+            ("rdma_q", self.rdma_queue),
+        ):
+            metrics.observe(
+                f"{prefix}.{store_name}.depth_hw",
+                lambda s=store: s.max_depth,
+            )
+        metrics.observe(
+            f"{prefix}.retransmits",
+            lambda: sum(
+                c.packets_retransmitted for c in self._connections.values()
+            ),
+        )
+        metrics.observe(
+            f"{prefix}.gbn_window_hw",
+            lambda: max(
+                (c.sent_list_high_water for c in self._connections.values()),
+                default=0,
+            ),
+        )
+        metrics.observe(
+            f"{prefix}.barrier_window_hw",
+            lambda: max(
+                (
+                    c.barrier_unacked_high_water
+                    for c in self._connections.values()
+                ),
+                default=0,
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Fabric interface
     # ------------------------------------------------------------------

@@ -29,6 +29,13 @@ produces the identical event interleaving.  All randomness flows through
 """
 
 from repro.sim.engine import EventHandle, Simulator
+from repro.sim.metrics import (
+    BusyTime,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.sim.primitives import (
     AllOf,
     AnyOf,
@@ -45,8 +52,13 @@ from repro.sim.tracing import TraceEvent, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BusyTime",
+    "Counter",
     "EventHandle",
+    "Gauge",
+    "Histogram",
     "Interrupted",
+    "MetricsRegistry",
     "Process",
     "ProcessKilled",
     "Resource",

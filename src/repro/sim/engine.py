@@ -13,7 +13,10 @@ microseconds keep the numbers legible in traces and results tables.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.sim.metrics import MetricsRegistry
 
 #: Default priority for ordinary events.
 PRIORITY_NORMAL = 0
@@ -73,6 +76,16 @@ def _noop(*_args: Any) -> None:
     return None
 
 
+def _callback_owner(callback: Callable[..., None]) -> str:
+    """Profiling label for a callback: its bound object, else its name."""
+    obj = getattr(callback, "__self__", None)
+    if obj is not None:
+        name = getattr(obj, "name", "")
+        cls = type(obj).__name__
+        return f"{cls}:{name}" if name else cls
+    return getattr(callback, "__qualname__", repr(callback))
+
+
 class Simulator:
     """Owns the virtual clock and the pending-event heap.
 
@@ -80,6 +93,14 @@ class Simulator:
     ----------
     start_time:
         Initial clock value in microseconds.
+    metrics_enabled:
+        Build the attached :class:`~repro.sim.metrics.MetricsRegistry`
+        live (components registering into it record for real) instead of
+        as a null registry.
+    profile:
+        Enable the per-callback-owner wall-clock profiler in
+        :meth:`step` (see :meth:`profile_stats`).  Off by default -- the
+        hot dispatch path then pays a single attribute test.
 
     Notes
     -----
@@ -88,7 +109,12 @@ class Simulator:
     a stop condition.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        metrics_enabled: bool = False,
+        profile: bool = False,
+    ) -> None:
         self.now: float = start_time
         self._heap: list[EventHandle] = []
         self._seq: int = 0
@@ -97,6 +123,17 @@ class Simulator:
         #: Number of callbacks executed; useful for profiling and for
         #: detecting runaway simulations in tests.
         self.events_executed: int = 0
+        #: Registry every component of this simulation registers into.
+        self.metrics = MetricsRegistry(self, enabled=metrics_enabled)
+        #: Heap pops that hit a lazily-cancelled entry (the cost of O(1)
+        #: ``EventHandle.cancel``); compare against ``events_executed``
+        #: for the cancelled-pop ratio.
+        self.cancelled_pops: int = 0
+        #: Deepest pending-event heap seen (profiling mode only).
+        self.heap_high_water: int = 0
+        self._profile = profile
+        #: owner -> [events executed, wall-clock seconds].
+        self._profile_stats: Dict[str, List[float]] = {}
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -112,10 +149,18 @@ class Simulator:
 
         Negative delays are a programming error and raise ``ValueError``;
         zero delays are common and fire at the current instant after any
-        already-scheduled same-instant events of equal priority.
+        already-scheduled same-instant events of equal priority.  Tiny
+        negative delays (within ``-1e-9`` us) are treated as zero: chains
+        of ``now + dt`` float arithmetic legitimately produce deltas like
+        ``-1e-12``, which are rounding noise, not time travel.
         """
         if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay})")
+            if delay >= -1e-9:
+                delay = 0.0
+            else:
+                raise ValueError(
+                    f"cannot schedule into the past (delay={delay})"
+                )
         return self.schedule_at(self.now + delay, callback, *args, priority=priority)
 
     def schedule_at(
@@ -143,14 +188,34 @@ class Simulator:
         while self._heap:
             handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                self.cancelled_pops += 1
                 continue
             if handle.time < self.now:  # pragma: no cover - defensive
                 raise RuntimeError("event heap corrupted: time went backwards")
             self.now = handle.time
             self.events_executed += 1
-            handle.callback(*handle.args)
+            if self._profile:
+                self._step_profiled(handle)
+            else:
+                handle.callback(*handle.args)
             return True
         return False
+
+    def _step_profiled(self, handle: EventHandle) -> None:
+        """Execute one event under the wall-clock profiler."""
+        depth = len(self._heap)
+        if depth > self.heap_high_water:
+            self.heap_high_water = depth
+        t0 = time.perf_counter()
+        handle.callback(*handle.args)
+        wall = time.perf_counter() - t0
+        owner = _callback_owner(handle.callback)
+        rec = self._profile_stats.get(owner)
+        if rec is None:
+            self._profile_stats[owner] = [1, wall]
+        else:
+            rec[0] += 1
+            rec[1] += wall
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Drain the event heap.
@@ -162,9 +227,11 @@ class Simulator:
             exactly at ``until`` are executed.  The clock is advanced to
             ``until`` on return even if the heap empties earlier.
         max_events:
-            Safety valve: raise ``RuntimeError`` after this many callbacks.
-            Useful in tests to catch livelock (e.g. a polling loop that
-            never yields time).
+            Safety valve: allow exactly this many callbacks, then raise
+            ``RuntimeError`` if live events remain.  Useful in tests to
+            catch livelock (e.g. a polling loop that never yields time).
+            A run whose heap drains in exactly ``max_events`` callbacks
+            completes normally.
 
         Returns
         -------
@@ -181,16 +248,20 @@ class Simulator:
                 nxt = self._heap[0]
                 if nxt.cancelled:
                     heapq.heappop(self._heap)
+                    self.cancelled_pops += 1
                     continue
                 if until is not None and nxt.time > until:
                     break
                 self.step()
                 executed += 1
-                if max_events is not None and executed > max_events:
-                    raise RuntimeError(
-                        f"simulation exceeded max_events={max_events}; "
-                        "likely livelock"
-                    )
+                if max_events is not None and executed >= max_events:
+                    nxt_live = self.peek()
+                    if nxt_live is not None and (until is None or nxt_live <= until):
+                        raise RuntimeError(
+                            f"simulation exceeded max_events={max_events}; "
+                            "likely livelock"
+                        )
+                    break
             if until is not None and self.now < until:
                 self.now = until
         finally:
@@ -206,6 +277,47 @@ class Simulator:
         self._stop_requested = True
 
     # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    @property
+    def profiling(self) -> bool:
+        """Whether the per-callback-owner wall-clock profiler is active."""
+        return self._profile
+
+    def profile_stats(self) -> Dict[str, tuple]:
+        """Per-callback-owner ``(events, wall_seconds)``, profiling mode.
+
+        The owner of a bound-method callback is its ``__self__`` object
+        (labelled ``TypeName:name`` when the object has a ``name``);
+        plain functions are keyed by qualified name.  This answers "where
+        does the *wall clock* go" -- e.g. how much real time the four MCP
+        machines' dispatch costs versus the network channels.
+        """
+        return {
+            owner: (int(rec[0]), rec[1])
+            for owner, rec in self._profile_stats.items()
+        }
+
+    def profile_table(self, limit: Optional[int] = None) -> str:
+        """Owners ranked by wall time: ``events / wall ms / mean us``."""
+        rows = sorted(
+            self.profile_stats().items(), key=lambda kv: kv[1][1], reverse=True
+        )
+        if limit is not None:
+            rows = rows[:limit]
+        width = max((len(owner) for owner, _ in rows), default=5)
+        lines = [
+            f"{'owner'.ljust(width)}  {'events':>8}  {'wall_ms':>9}  {'mean_us':>8}"
+        ]
+        for owner, (events, wall) in rows:
+            mean_us = (wall / events) * 1e6 if events else 0.0
+            lines.append(
+                f"{owner.ljust(width)}  {events:>8}  {wall * 1e3:>9.3f}  "
+                f"{mean_us:>8.2f}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
@@ -217,6 +329,7 @@ class Simulator:
         """Time of the next live event, or None if the heap is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self.cancelled_pops += 1
         return self._heap[0].time if self._heap else None
 
     def process(self, generator: Iterable) -> "Process":

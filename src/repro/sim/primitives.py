@@ -243,6 +243,8 @@ class Store(Generic[T]):
         self.capacity = capacity
         self._items: Deque[T] = deque()
         self._getters: Deque[SimEvent] = deque()
+        #: Deepest backlog seen; a queue-depth high-water mark for metrics.
+        self.max_depth = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -264,6 +266,8 @@ class Store(Generic[T]):
                 "flow control violated"
             )
         self._items.append(item)
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
 
     def get(self) -> SimEvent[T]:
         """Return a waitable that yields the next item (FIFO)."""
@@ -336,6 +340,12 @@ class Resource:
         if elapsed <= 0:
             return 0.0
         return self._busy_time / (elapsed * self.capacity)
+
+    @property
+    def busy_us(self) -> float:
+        """Capacity-weighted busy-time integral in simulated microseconds."""
+        self._account()
+        return self._busy_time
 
     def request(self) -> SimEvent[None]:
         """Return a waitable granted when a unit of capacity is free."""

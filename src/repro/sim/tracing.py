@@ -13,8 +13,10 @@ Tracing is off by default and costs one predicate call per record when off.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.engine import Simulator
 
@@ -109,3 +111,123 @@ class Tracer:
         """Human-readable timeline (for debugging and examples)."""
         evs = self.events if limit is None else self.events[:limit]
         return "\n".join(str(e) for e in evs)
+
+    # -- exports --------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per event, newline-separated.
+
+        The stable schema (``time``/``category``/``label``/``payload``)
+        makes a run greppable and diffable; non-JSON payload values
+        (tuples, enums) are stringified rather than rejected.
+        """
+        return "\n".join(
+            json.dumps(
+                {
+                    "time": ev.time,
+                    "category": ev.category,
+                    "label": ev.label,
+                    "payload": ev.payload,
+                },
+                default=str,
+                sort_keys=True,
+            )
+            for ev in self.events
+        )
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`to_jsonl` to ``path``; returns the path."""
+        path = Path(path)
+        text = self.to_jsonl()
+        path.write_text(text + "\n" if text else "")
+        return path
+
+    def to_chrome_trace(
+        self,
+        span_pairs: Optional[Sequence[Tuple[str, str, str]]] = None,
+    ) -> Dict[str, Any]:
+        """The trace in Chrome ``trace_event`` JSON format.
+
+        Load the written file in ``chrome://tracing`` or Perfetto to see
+        the paper's Figure 2 decomposition laid out on a timeline: one
+        "process" row per trace category (``nic3``, ``host1``, ...),
+        instant markers for every record, and duration ("X") slices for
+        matched span pairs.
+
+        Parameters
+        ----------
+        span_pairs:
+            ``(start_label, end_label, span_name)`` triples rendered as
+            duration events, matched per category with the same FIFO /
+            ``payload['key']`` discipline as :meth:`spans`.  Defaults to
+            the barrier lifecycle plus every ``<stem>.begin`` /
+            ``<stem>.end`` label pair present in the trace.
+
+        Notes
+        -----
+        Timestamps are simulated microseconds, which is exactly the
+        ``ts`` unit the trace_event format specifies -- no scaling.
+        """
+        if span_pairs is None:
+            span_pairs = [("barrier.initiate", "barrier.complete", "barrier")]
+            stems = sorted(
+                {
+                    ev.label[: -len(".begin")]
+                    for ev in self.events
+                    if ev.label.endswith(".begin")
+                }
+            )
+            span_pairs += [(f"{s}.begin", f"{s}.end", s) for s in stems]
+
+        categories = sorted({ev.category for ev in self.events})
+        pids = {cat: i + 1 for i, cat in enumerate(categories)}
+        trace_events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pids[cat],
+                "tid": 0,
+                "args": {"name": cat},
+            }
+            for cat in categories
+        ]
+        for ev in self.events:
+            trace_events.append(
+                {
+                    "name": ev.label,
+                    "cat": ev.category,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ev.time,
+                    "pid": pids[ev.category],
+                    "tid": 0,
+                    "args": {k: str(v) for k, v in ev.payload.items()},
+                }
+            )
+        for start_label, end_label, span_name in span_pairs:
+            for cat in categories:
+                for start, end, dur in self.spans(cat, start_label, end_label):
+                    trace_events.append(
+                        {
+                            "name": span_name,
+                            "cat": cat,
+                            "ph": "X",
+                            "ts": start.time,
+                            "dur": dur,
+                            "pid": pids[cat],
+                            "tid": 1,
+                            "args": {
+                                k: str(v) for k, v in start.payload.items()
+                            },
+                        }
+                    )
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(
+        self,
+        path: Union[str, Path],
+        span_pairs: Optional[Sequence[Tuple[str, str, str]]] = None,
+    ) -> Path:
+        """Write :meth:`to_chrome_trace` as JSON to ``path``."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace(span_pairs)))
+        return path

@@ -113,6 +113,55 @@ class TestRecordAndReject:
         assert len(done) == 2
 
 
+class TestRejectResendsEveryOutstandingType:
+    def test_two_message_types_outstanding_both_resent(self):
+        """Regression: ``on_reject`` resent only the newest matching
+        message.  Here node 0 has *two* live message types outstanding to
+        the same closed peer -- a GB broadcast and a PE exchange -- and
+        the peer's single REJECT (the record is per source endpoint) must
+        trigger a resend of both, or the reopened peer's GB barrier
+        stalls forever waiting for the dropped broadcast."""
+        cluster = two_node_cluster()
+        a = cluster.open_port(0, 2)
+        done = []
+
+        def rank1_dies_then_revives():
+            # Old B sends its GB gather up, then dies before the bcast.
+            from repro.core.barrier import make_plan
+
+            b = cluster.node(1).driver.open_port(2)
+            plan = make_plan(GROUP, 1, "gb", dimension=1)
+            yield from b.provide_barrier_buffer()
+            yield from b.barrier_send_with_callback(plan)
+            yield Timeout(100.0)
+            b.close()
+            yield Timeout(500.0)  # both of A's messages land while closed
+            # B' reuses the endpoint: one REJECT covers both recorded
+            # arrivals.  Its GB needs the rebroadcast; its PE needs the
+            # re-sent exchange message.
+            b2 = cluster.node(1).driver.open_port(2)
+            yield from barrier(b2, GROUP, 1, algorithm="gb", dimension=1)
+            yield from barrier(b2, GROUP, 1, algorithm="pe")
+            done.append("rank1")
+
+        def rank0():
+            # Root GB: consumes old B's recorded gather, completes, and
+            # broadcasts into B's closed port (outstanding type #1).
+            yield Timeout(400.0)
+            yield from barrier(a, GROUP, 0, algorithm="gb", dimension=1)
+            # PE: the exchange message also lands in the closed port
+            # (outstanding type #2), then blocks awaiting B''s reply.
+            yield from barrier(a, GROUP, 0, algorithm="pe")
+            done.append("rank0")
+
+        cluster.spawn(rank1_dies_then_revives())
+        cluster.spawn(rank0())
+        cluster.run(max_events=3_000_000)
+        assert sorted(done) == ["rank0", "rank1"]
+        assert cluster.node(1).nic.barrier_engine.rejects_sent == 1
+        assert cluster.node(0).nic.barrier_engine.resends == 2
+
+
 class TestStaleSenderDoesNotResend:
     def test_resend_suppressed_when_initiator_closed(self):
         """Process A initiates a barrier with B, dies; B's port opens later

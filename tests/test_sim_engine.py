@@ -161,6 +161,67 @@ class TestRun:
         assert sim.peek() == 7.0
 
 
+class TestMaxEventsExactSemantics:
+    """Regression: ``executed > max_events`` let ``max_events + 1``
+    callbacks run before the livelock guard tripped."""
+
+    def test_exactly_max_events_callbacks_run_before_raise(self, sim):
+        ran = []
+
+        def respawn():
+            ran.append(sim.now)
+            sim.schedule(0.0, respawn)
+
+        sim.schedule(0.0, respawn)
+        with pytest.raises(RuntimeError, match="max_events=7"):
+            sim.run(max_events=7)
+        assert len(ran) == 7
+
+    def test_heap_draining_in_exactly_max_events_completes(self, sim):
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=5)  # exact fit is success, not livelock
+        assert sim.events_executed == 5
+
+    def test_live_events_beyond_until_do_not_trip_the_guard(self, sim):
+        seen = []
+        for t in (1.0, 2.0, 10.0):
+            sim.schedule(t, seen.append, t)
+        sim.run(until=5.0, max_events=2)
+        assert seen == [1.0, 2.0]
+
+
+class TestTinyNegativeDelayClamp:
+    """Regression: float error in ``now + dt`` chains produces deltas
+    like -1e-12, which used to raise instead of clamping to zero."""
+
+    def test_rounding_noise_delay_runs_at_current_instant(self, sim):
+        times = []
+        sim.schedule(-1e-12, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.0]
+
+    def test_clamp_boundary_is_inclusive(self, sim):
+        sim.schedule(-1e-9, lambda: None)
+        sim.run()
+        assert sim.events_executed == 1
+
+    def test_genuinely_negative_delay_still_raises(self, sim):
+        with pytest.raises(ValueError, match="cannot schedule into the past"):
+            sim.schedule(-1e-8, lambda: None)
+
+    def test_float_chain_arithmetic_schedules_cleanly(self, sim):
+        # 0.1 + 0.2 - 0.3 style residue: target - now can be ~ -5.6e-17.
+        sim.schedule(0.1 + 0.2, lambda: None)
+        sim.run()
+        target = 0.3
+        delta = target - sim.now  # tiny negative on binary floats
+        assert delta <= 0
+        sim.schedule(delta, lambda: None)
+        sim.run()
+        assert sim.events_executed == 2
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
         def build_and_run():
