@@ -11,6 +11,14 @@ metrics registry live and prints the per-component metrics table (NIC
 busy time, link utilization, resend counters); ``--trace-out`` also
 writes the run as Chrome trace_event JSON for ``chrome://tracing`` /
 Perfetto (see ``docs/observability.md``).
+
+``python -m repro.analysis.report --faults SEED`` runs the chaos soak:
+every barrier algorithm (host and NIC, both reliability designs) under
+a fault plan derived from SEED -- seeded packet loss and corruption,
+a link flap, a switch port stall, a NIC pause and an ACK-loss burst --
+and prints the recovery table (injected losses, retransmits, duplicate
+suppressions, alarms).  Same seed, same table (see
+``docs/reliability.md``).
 """
 
 from __future__ import annotations
@@ -193,7 +201,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-out", type=Path, default=None,
                         help="with --observe: write the run as Chrome "
                              "trace_event JSON to this file")
+    parser.add_argument("--faults", type=int, metavar="SEED", default=None,
+                        help="run the chaos soak (every barrier algorithm "
+                             "under seeded fault injection) and print the "
+                             "recovery table")
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="with --faults: cluster size (default 8)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="with --faults: barriers per combination "
+                             "(default 3)")
     args = parser.parse_args(argv)
+
+    if args.faults is not None:
+        from repro.faults import run_chaos_soak
+
+        result = run_chaos_soak(
+            args.faults, num_nodes=args.nodes, repetitions=args.reps
+        )
+        print(f"chaos soak: seed={result.seed} nodes={result.num_nodes} "
+              f"reps={result.repetitions}")
+        print(result.table())
+        print(f"total injected={result.total_injected} "
+              f"retransmits={result.total_retransmits}; all barriers safe")
+        return 0
 
     if args.observe is not None:
         cluster = run_observed_barrier(

@@ -9,7 +9,7 @@ generation, host overhead, reliability mode and topology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.host.cpu import HostParams
 from repro.host.node import Node
@@ -25,6 +25,10 @@ from repro.sim.engine import Simulator
 from repro.sim.process import Process
 from repro.sim.rng import SimRng
 from repro.sim.tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.inject import FaultController
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -46,6 +50,10 @@ class ClusterConfig:
     metrics: bool = False
     #: Enable the per-callback-owner wall-clock profiler in the engine.
     profile: bool = False
+    #: Deterministic fault injection (see :mod:`repro.faults`).  None (the
+    #: default) wires nothing at all -- the build is bit-identical to one
+    #: from before the fault subsystem existed.
+    fault_plan: Optional["FaultPlan"] = None
 
     def with_(self, **changes) -> "ClusterConfig":
         """A copy of this config with the given fields replaced."""
@@ -85,6 +93,12 @@ class Cluster:
             self.nodes.append(
                 Node(self.sim, node_id, nic, host_params=config.host_params)
             )
+        #: Live fault controller when a plan was configured, else None.
+        self.faults: Optional["FaultController"] = None
+        if config.fault_plan is not None:
+            from repro.faults.inject import install_fault_plan
+
+            self.faults = install_fault_plan(self, config.fault_plan)
 
     # ------------------------------------------------------------------
     def node(self, node_id: int) -> Node:

@@ -331,7 +331,9 @@ class NicBarrierEngine:
 
         # "In all other cases, the reception of the message is simply
         # recorded."  The bit is set atomically at the decision instant.
-        nic.connection(packet.src_node).unexpected.set(packet.src_port)
+        nic.connection(packet.src_node).unexpected.set(
+            packet.src_port, dst_port=packet.dst_port
+        )
         self.unexpected_recorded += 1
         self.trace("recorded", src=src, port=packet.dst_port)
         yield from self.cpu("barrier_record")

@@ -289,6 +289,7 @@ class NicCollectiveEngine:
         nic.connection(packet.src_node).coll_unexpected[packet.src_port] = {
             "kind": kind,
             "value": value,
+            "dst_port": packet.dst_port,
         }
         self.unexpected_recorded += 1
         self.trace("recorded", src=src, kind=kind)

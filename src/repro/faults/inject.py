@@ -1,0 +1,219 @@
+"""Compile a :class:`~repro.faults.plan.FaultPlan` into live injectors.
+
+The controller wires four fault mechanisms into an already-built cluster:
+
+* **packet loss / corruption** -- a :class:`ChannelInjector` installed as
+  the channel's ``fault_filter`` (the generalization of the old ad-hoc
+  ``loss_filter`` lambdas), drawing every probabilistic decision from a
+  per-channel stream of a :class:`~repro.sim.rng.SimRng` seeded by the
+  plan, so the same plan always drops the same packets;
+* **link flaps** -- ``set_down``/``set_up`` events scheduled on the
+  victim channels;
+* **switch output-port stalls** -- ``pause``/``resume`` events on the
+  switch's output channel (queueing, not loss);
+* **NIC-processor pauses** -- a process that claims the NIC CPU resource
+  for the window, making all four MCP state machines wait.
+
+Everything is scheduled at install time from the plan's absolute
+timestamps; nothing consults wall clocks or global RNG state, so a
+seeded run is reproducible event-for-event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.faults.plan import AckLoss, FaultPlan, LossRule
+from repro.network.link import Channel
+from repro.network.packet import Packet
+from repro.sim.process import Process
+from repro.sim.rng import SimRng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.builder import Cluster
+
+
+@dataclass
+class _ActiveRule:
+    """One loss rule bound to a channel, with its drop budget."""
+
+    spec: LossRule
+    drops: int = 0
+
+    def exhausted(self) -> bool:
+        return (
+            self.spec.max_drops is not None
+            and self.drops >= self.spec.max_drops
+        )
+
+
+class ChannelInjector:
+    """The ``fault_filter`` for one channel: first matching rule wins."""
+
+    def __init__(
+        self, controller: "FaultController", channel: Channel
+    ) -> None:
+        self.controller = controller
+        self.channel = channel
+        self.rules: List[_ActiveRule] = []
+        self._rng = controller.rng
+        self._stream = f"faults.{channel.name}"
+
+    def add_rule(self, spec: LossRule) -> None:
+        """Bind one more loss rule to this channel."""
+        self.rules.append(_ActiveRule(spec))
+
+    def __call__(self, packet: Packet) -> Optional[str]:
+        now = self.channel.sim.now
+        for rule in self.rules:
+            spec = rule.spec
+            if rule.exhausted():
+                continue
+            if now < spec.start_us:
+                continue
+            if spec.stop_us is not None and now >= spec.stop_us:
+                continue
+            if spec.ptypes is not None and packet.ptype not in spec.ptypes:
+                continue
+            if spec.rate < 1.0 and self._rng.random(self._stream) >= spec.rate:
+                continue
+            rule.drops += 1
+            if spec.corrupt:
+                self.controller.corruptions += 1
+                return "corrupt"
+            self.controller.drops += 1
+            return "drop"
+        return None
+
+
+class FaultController:
+    """The live fault-injection state of one cluster.
+
+    Holds the plan, the per-channel injectors and the aggregate
+    counters, and registers ``faults.*`` metrics so recovery behaviour
+    shows up in the same snapshot as the component counters.
+    """
+
+    def __init__(self, cluster: "Cluster", plan: FaultPlan) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self.rng = SimRng(plan.seed)
+        self.injectors: Dict[str, ChannelInjector] = {}
+        #: Aggregate counters (per-rule budgets live on the rules).
+        self.drops = 0
+        self.corruptions = 0
+        self.flaps_scheduled = 0
+        self.stalls_scheduled = 0
+        self.pauses_scheduled = 0
+        self._install()
+        self._register_metrics()
+
+    # ------------------------------------------------------------------
+    def _channels_for(self, nodes, direction: str) -> List[Channel]:
+        network = self.cluster.network
+        node_ids = (
+            range(len(self.cluster.nodes)) if nodes is None else nodes
+        )
+        out = []
+        for node_id in node_ids:
+            if direction in ("rx", "both"):
+                out.append(network.rx_channel(node_id))
+            if direction in ("tx", "both"):
+                out.append(network.tx_channel(node_id))
+        return out
+
+    def _injector(self, channel: Channel) -> ChannelInjector:
+        inj = self.injectors.get(channel.name)
+        if inj is None:
+            inj = ChannelInjector(self, channel)
+            self.injectors[channel.name] = inj
+            if channel.fault_filter is not None:
+                raise RuntimeError(
+                    f"channel {channel.name!r} already has a fault_filter"
+                )
+            channel.fault_filter = inj
+        return inj
+
+    def _install(self) -> None:
+        sim = self.cluster.sim
+        plan = self.plan
+
+        loss_rules: List[LossRule] = list(plan.loss)
+        loss_rules.extend(rule.as_loss_rule() for rule in plan.ack_loss)
+        for spec in loss_rules:
+            for channel in self._channels_for(spec.nodes, spec.direction):
+                self._injector(channel).add_rule(spec)
+
+        for flap in plan.flaps:
+            for channel in self._channels_for([flap.node], flap.direction):
+                sim.schedule_at(flap.down_at, channel.set_down)
+                if flap.up_at is not None:
+                    sim.schedule_at(flap.up_at, channel.set_up)
+                self.flaps_scheduled += 1
+
+        for stall in plan.stalls:
+            switch = self.cluster.network.switch(stall.switch)
+            channel = switch.output_channel(stall.port)
+            if channel is None:
+                raise ValueError(
+                    f"PortStall targets unattached port {stall.port} "
+                    f"on switch {stall.switch}"
+                )
+            sim.schedule_at(stall.at_us, channel.pause)
+            sim.schedule_at(stall.at_us + stall.duration_us, channel.resume)
+            self.stalls_scheduled += 1
+
+        for pause in plan.pauses:
+            nic = self.cluster.nodes[pause.node].nic
+            Process(
+                sim,
+                self._pause_nic(nic, pause.at_us, pause.duration_us),
+                name=f"fault.pause.nic{pause.node}",
+            )
+            self.pauses_scheduled += 1
+
+    @staticmethod
+    def _pause_nic(nic, at_us: float, duration_us: float):
+        """Claim the LANai processor for the pause window (generator).
+
+        The grant is FIFO behind whatever firmware currently holds the
+        CPU, matching a stall that begins at the next instruction
+        boundary rather than mid-operation.
+        """
+        from repro.sim.primitives import Timeout
+
+        if at_us > 0:
+            yield Timeout(at_us)
+        yield nic.cpu_resource.request()
+        try:
+            yield Timeout(duration_us)
+        finally:
+            nic.cpu_resource.release()
+
+    def _register_metrics(self) -> None:
+        metrics = self.cluster.sim.metrics
+        if not metrics.enabled:
+            return
+        metrics.observe("faults.drops", lambda: self.drops)
+        metrics.observe("faults.corruptions", lambda: self.corruptions)
+        metrics.observe("faults.flaps", lambda: self.flaps_scheduled)
+        metrics.observe("faults.stalls", lambda: self.stalls_scheduled)
+        metrics.observe("faults.pauses", lambda: self.pauses_scheduled)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_injected(self) -> int:
+        """Every packet lost or corrupted by this controller."""
+        return self.drops + self.corruptions
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultController seed={self.plan.seed} "
+            f"rules={self.plan.num_rules} injected={self.total_injected}>"
+        )
+
+
+def install_fault_plan(cluster: "Cluster", plan: FaultPlan) -> FaultController:
+    """Wire ``plan`` into a built cluster; returns the live controller."""
+    return FaultController(cluster, plan)

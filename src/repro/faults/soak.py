@@ -1,0 +1,241 @@
+"""Chaos soak: every barrier algorithm, repeatedly, under seeded faults.
+
+One :func:`run_chaos_soak` call sweeps the paper's barrier
+implementations -- host-level gather/broadcast and pairwise exchange,
+NIC-based PE / GB / dissemination -- and, for the NIC-based ones, both
+reliability designs of Section 4.4 (piggybacked ``TOKEN_PER_DESTINATION``
+and the dedicated ``SEPARATE`` stream).  Each combination gets its own
+cluster built with a :class:`~repro.faults.plan.FaultPlan` derived from
+the soak seed, shortened retransmission timeouts so recovery happens
+inside the run, and ``repetitions`` consecutive barriers whose
+enter/exit times are checked against the fundamental safety property
+(nobody exits barrier *k* before everyone entered it).
+
+Determinism contract: the same seed produces the same fault plans, the
+same event counts and the same final simulated times -- a failing soak
+is reproducible from just its seed (``report.py --faults SEED``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.cluster.runner import run_on_group
+from repro.core.barrier import barrier as nic_barrier
+from repro.core.host_barrier import host_barrier
+from repro.gm.constants import BarrierReliability
+from repro.nic.nic import NicParams
+
+#: (label, nic_based, algorithm) -- every barrier flavour the repo has.
+ALGORITHMS = (
+    ("host-gb", False, "gb"),
+    ("host-pe", False, "pe"),
+    ("nic-gb", True, "gb"),
+    ("nic-pe", True, "pe"),
+    ("nic-dissemination", True, "dissemination"),
+)
+
+#: Reliability modes worth soaking.  UNRELIABLE is excluded on purpose:
+#: under injected loss it has no recovery path, so a hang is expected
+#: behaviour there, not a bug.  Host barriers ride the (always reliable)
+#: regular stream; the barrier mode only changes NIC-based runs.
+RELIABILITY_MODES = (
+    BarrierReliability.SEPARATE,
+    BarrierReliability.TOKEN_PER_DESTINATION,
+)
+
+
+@dataclass
+class SoakRow:
+    """The outcome of one (algorithm, reliability) combination."""
+
+    label: str
+    reliability: str
+    seed: int
+    repetitions: int
+    final_time_us: float
+    events: int
+    drops: int
+    corruptions: int
+    retransmits: int
+    duplicates: int
+    future_dropped: int
+    nacks: int
+    alarms: int
+
+    @property
+    def injected(self) -> int:
+        """Packets the fault plan removed from the wire."""
+        return self.drops + self.corruptions
+
+
+@dataclass
+class SoakResult:
+    """Everything one chaos soak produced."""
+
+    seed: int
+    num_nodes: int
+    repetitions: int
+    rows: List[SoakRow] = field(default_factory=list)
+
+    @property
+    def total_injected(self) -> int:
+        """Packets lost or corrupted across every combination."""
+        return sum(r.injected for r in self.rows)
+
+    @property
+    def total_retransmits(self) -> int:
+        """Retransmissions across every combination."""
+        return sum(r.retransmits for r in self.rows)
+
+    def signature(self) -> tuple:
+        """A determinism fingerprint: same seed => identical signature."""
+        return tuple(
+            (r.label, r.reliability, r.events, round(r.final_time_us, 6))
+            for r in self.rows
+        )
+
+    def table(self) -> str:
+        """A fixed-width report table (used by ``report.py --faults``)."""
+        header = (
+            f"{'combo':<22} {'reliability':<22} {'t_final_us':>10} "
+            f"{'events':>8} {'inject':>6} {'rexmit':>6} {'dup':>5} "
+            f"{'nack':>5} {'alarms':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.rows:
+            lines.append(
+                f"{r.label:<22} {r.reliability:<22} {r.final_time_us:>10.2f} "
+                f"{r.events:>8} {r.injected:>6} {r.retransmits:>6} "
+                f"{r.duplicates:>5} {r.nacks:>5} {r.alarms:>6}"
+            )
+        return "\n".join(lines)
+
+
+def _combo_seed(seed: int, index: int) -> int:
+    """A distinct, stable per-combination seed (splitmix-style)."""
+    x = (seed * 0x9E3779B97F4A7C15 + index + 1) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return x & 0x7FFFFFFF
+
+
+def run_soak_combo(
+    *,
+    seed: int,
+    label: str,
+    nic_based: bool,
+    algorithm: str,
+    reliability: BarrierReliability,
+    num_nodes: int = 8,
+    repetitions: int = 3,
+    intensity: float = 1.0,
+    max_events: int = 5_000_000,
+) -> SoakRow:
+    """Run one algorithm/reliability combination under its seeded plan."""
+    from repro.faults.plan import FaultPlan
+    from repro.sim.primitives import Timeout
+
+    plan = FaultPlan.random(seed, num_nodes, intensity=intensity)
+    nic_params = NicParams(
+        barrier_reliability=reliability,
+        retransmit_timeout_us=300.0,
+        barrier_retransmit_timeout_us=200.0,
+    )
+    cluster = build_cluster(
+        ClusterConfig(
+            num_nodes=num_nodes,
+            nic_params=nic_params,
+            seed=seed,
+            fault_plan=plan,
+        )
+    )
+    enters: Dict[int, Dict[int, float]] = {r: {} for r in range(repetitions)}
+    exits: Dict[int, Dict[int, float]] = {r: {} for r in range(repetitions)}
+    barrier_op = nic_barrier if nic_based else host_barrier
+
+    def program(ctx):
+        # A deterministic per-rank stagger so faults hit the barrier in
+        # different phases (entry, wave, exit) rather than all at once.
+        yield Timeout(float((ctx.rank * 7) % num_nodes))
+        for rep in range(repetitions):
+            enters[rep][ctx.rank] = ctx.now
+            yield from barrier_op(ctx.port, ctx.group, ctx.rank, algorithm=algorithm)
+            exits[rep][ctx.rank] = ctx.now
+
+    run_on_group(cluster, program, max_events=max_events)
+
+    for rep in range(repetitions):
+        latest_enter = max(enters[rep].values())
+        earliest_exit = min(exits[rep].values())
+        if earliest_exit < latest_enter:
+            raise AssertionError(
+                f"soak {label}/{reliability.name} seed={seed}: barrier "
+                f"rep {rep} unsafe -- a rank exited at {earliest_exit:.3f} "
+                f"before the last rank entered at {latest_enter:.3f}"
+            )
+
+    connections = [
+        conn
+        for node in cluster.nodes
+        for conn in node.nic.connections.values()
+    ]
+    controller = cluster.faults
+    return SoakRow(
+        label=label,
+        reliability=reliability.name if nic_based else "regular",
+        seed=seed,
+        repetitions=repetitions,
+        final_time_us=cluster.sim.now,
+        events=cluster.sim.events_executed,
+        drops=controller.drops,
+        corruptions=controller.corruptions,
+        retransmits=sum(c.packets_retransmitted for c in connections),
+        duplicates=sum(c.duplicates_dropped for c in connections),
+        future_dropped=sum(c.future_dropped for c in connections),
+        nacks=sum(c.nacks_sent for c in connections),
+        alarms=sum(len(node.nic.alarms) for node in cluster.nodes),
+    )
+
+
+def run_chaos_soak(
+    seed: int,
+    num_nodes: int = 8,
+    repetitions: int = 3,
+    intensity: float = 1.0,
+    max_events: int = 5_000_000,
+    combos: Optional[List[tuple]] = None,
+) -> SoakResult:
+    """Soak every barrier algorithm under seeded faults; see module doc.
+
+    Raises :class:`AssertionError` on a safety violation and lets
+    :class:`~repro.nic.nic.RetransmitLimitExceeded` propagate -- a plan
+    from :meth:`FaultPlan.random` is recoverable by construction, so an
+    alarm here means a real recovery-path bug.
+    """
+    result = SoakResult(
+        seed=seed, num_nodes=num_nodes, repetitions=repetitions
+    )
+    index = 0
+    for label, nic_based, algorithm in ALGORITHMS:
+        modes = RELIABILITY_MODES if nic_based else (RELIABILITY_MODES[0],)
+        for reliability in modes:
+            if combos is not None and (label, reliability.name) not in combos:
+                index += 1
+                continue
+            result.rows.append(
+                run_soak_combo(
+                    seed=_combo_seed(seed, index),
+                    label=label,
+                    nic_based=nic_based,
+                    algorithm=algorithm,
+                    reliability=reliability,
+                    num_nodes=num_nodes,
+                    repetitions=repetitions,
+                    intensity=intensity,
+                    max_events=max_events,
+                )
+            )
+            index += 1
+    return result

@@ -47,6 +47,19 @@ class Channel:
     tail arrives.  An optional ``loss_filter`` may drop packets (used by
     the reliability tests); dropped packets still occupy the channel for
     their serialization time, as a corrupted packet would.
+
+    Fault-injection hooks (all inert by default -- an unfaulted channel
+    schedules exactly the same events as before these hooks existed):
+
+    * ``fault_filter`` -- richer generalization of ``loss_filter``: a
+      callable returning ``None`` (deliver), ``"drop"`` (lose silently)
+      or ``"corrupt"`` (the packet is transmitted but fails CRC at the
+      receiver, i.e. dropped and counted in ``packets_corrupted``).
+    * :meth:`set_down` / :meth:`set_up` -- a *down* channel (cable pulled
+      / link flapped) loses every packet transmitted into it.
+    * :meth:`pause` / :meth:`resume` -- a *paused* channel (output-port
+      arbitration stall) queues packets without loss and drains on
+      resume.
     """
 
     def __init__(
@@ -66,11 +79,19 @@ class Channel:
         self.name = name
         self.sink: Optional[PacketSink] = None
         self.loss_filter: Optional[Callable[[Packet], bool]] = None
+        #: Fault-injection hook: ``fn(packet) -> None | "drop" | "corrupt"``.
+        self.fault_filter: Optional[Callable[[Packet], Optional[str]]] = None
         self._queue: Deque[Packet] = deque()
         self._busy = False
+        self._paused = False
+        #: Link-flap state: a down channel loses everything sent into it.
+        self.is_down = False
         #: Counters for tests and utilization reporting.
         self.packets_sent = 0
         self.packets_dropped = 0
+        #: Subsets of ``packets_dropped`` by cause.
+        self.packets_corrupted = 0
+        self.packets_lost_down = 0
         self.bytes_sent = 0
         #: Simulated wire-occupancy integral (serialization time of every
         #: packet put on the wire, dropped ones included).
@@ -110,18 +131,55 @@ class Channel:
             return 0.0
         return self.busy_us / elapsed
 
+    # -- fault-injection state changes -----------------------------------
+    def set_down(self) -> None:
+        """Take the channel down (link flap): packets sent while down are
+        lost after their serialization time, like a pulled cable."""
+        self.is_down = True
+
+    def set_up(self) -> None:
+        """Bring a downed channel back up."""
+        self.is_down = False
+
+    def pause(self) -> None:
+        """Stall the transmitter: queued packets wait, nothing is lost.
+        A packet already on the wire finishes normally."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Release a stall and restart transmission if work is queued."""
+        if not self._paused:
+            return
+        self._paused = False
+        if not self._busy:
+            self._start_next()
+
     # ------------------------------------------------------------------
+    def _transmit_verdict(self, packet: Packet) -> Optional[str]:
+        """Why this packet will be lost, or None to deliver it."""
+        if self.loss_filter is not None and self.loss_filter(packet):
+            return "drop"
+        if self.is_down:
+            return "down"
+        if self.fault_filter is not None:
+            return self.fault_filter(packet)
+        return None
+
     def _start_next(self) -> None:
-        if not self._queue:
+        if self._paused or not self._queue:
             self._busy = False
             return
         self._busy = True
         packet = self._queue.popleft()
         ser = self.serialization_time(packet)
         self.busy_us += ser
-        dropped = self.loss_filter is not None and self.loss_filter(packet)
-        if dropped:
+        verdict = self._transmit_verdict(packet)
+        if verdict is not None:
             self.packets_dropped += 1
+            if verdict == "corrupt":
+                self.packets_corrupted += 1
+            elif verdict == "down":
+                self.packets_lost_down += 1
         else:
             self.packets_sent += 1
             self.bytes_sent += packet.size_bytes

@@ -35,24 +35,36 @@ class UnexpectedRecord:
     paper's usage: reception of an unexpected barrier message sets the
     source port's bit; when the NIC is ready for that message it checks
     and *clears* the bit ("After a bit is checked, the bit is cleared").
+
+    Beside the paper's one byte of bits we remember which *local* port
+    each recorded message was destined for (``dst_ports``), so the close
+    path can purge records belonging to a dying endpoint -- without this
+    a reused port could match a stale record left by its previous owner.
     """
 
-    __slots__ = ("bits", "num_ports")
+    __slots__ = ("bits", "num_ports", "dst_ports")
 
     def __init__(self, num_ports: int = MAX_PORTS) -> None:
         if not 1 <= num_ports <= 64:
             raise ValueError("port count must fit one machine word")
         self.num_ports = num_ports
         self.bits = 0
+        #: src_port -> local dst_port the recorded message targeted.
+        self.dst_ports: Dict[int, int] = {}
 
     def _mask(self, src_port: int) -> int:
         if not 0 <= src_port < self.num_ports:
             raise ValueError(f"source port {src_port} out of range")
         return 1 << src_port
 
-    def set(self, src_port: int) -> None:
-        """Record an unexpected message from ``src_port``."""
+    def set(self, src_port: int, dst_port: Optional[int] = None) -> None:
+        """Record an unexpected message from ``src_port`` (destined to
+        local ``dst_port``, when known)."""
         self.bits |= self._mask(src_port)
+        if dst_port is not None:
+            self.dst_ports[src_port] = dst_port
+        else:
+            self.dst_ports.pop(src_port, None)
 
     def is_set(self, src_port: int) -> bool:
         """Non-destructive test of a bit (tests/debugging)."""
@@ -63,12 +75,23 @@ class UnexpectedRecord:
         mask = self._mask(src_port)
         if self.bits & mask:
             self.bits &= ~mask
+            self.dst_ports.pop(src_port, None)
             return True
         return False
+
+    def clear_for_dst_port(self, dst_port: int) -> int:
+        """Drop every record destined to local ``dst_port`` (port close);
+        returns how many bits were cleared."""
+        stale = [sp for sp, dp in self.dst_ports.items() if dp == dst_port]
+        for src_port in stale:
+            self.bits &= ~self._mask(src_port)
+            del self.dst_ports[src_port]
+        return len(stale)
 
     def clear_all(self) -> None:
         """Reset the record (port-reuse tests)."""
         self.bits = 0
+        self.dst_ports.clear()
 
 
 @dataclass
@@ -82,6 +105,8 @@ class SentEntry:
     token: Optional[SendToken]
     #: Retransmission counter, for tests and livelock detection.
     retransmits: int = 0
+    #: Simulated time of the first transmission (time-to-recover metric).
+    first_sent_at: float = 0.0
 
 
 @dataclass
@@ -92,6 +117,8 @@ class BarrierUnacked:
     barrier_seqno: int
     packet: Packet
     retransmits: int = 0
+    #: Simulated time of the first transmission (time-to-recover metric).
+    first_sent_at: float = 0.0
 
 
 class Connection:
@@ -144,6 +171,9 @@ class Connection:
         self.packets_retransmitted = 0
         self.nacks_sent = 0
         self.duplicates_dropped = 0
+        #: Barrier-stream packets dropped because a gap precedes them
+        #: (classify_barrier_incoming "future" verdict).
+        self.future_dropped = 0
         #: Go-back-N window occupancy high-water marks (regular sent list
         #: and the SEPARATE-mode barrier unacked list).
         self.sent_list_high_water = 0
@@ -160,6 +190,7 @@ class Connection:
 
     def record_sent(self, entry: SentEntry) -> None:
         """Append to the sent list (awaiting ACK)."""
+        entry.first_sent_at = self.sim.now
         self.sent_list.append(entry)
         if len(self.sent_list) > self.sent_list_high_water:
             self.sent_list_high_water = len(self.sent_list)
@@ -203,17 +234,20 @@ class Connection:
 
     def record_barrier_sent(self, entry: BarrierUnacked) -> None:
         """Track an unacknowledged SEPARATE-mode barrier packet."""
+        entry.first_sent_at = self.sim.now
         self.barrier_unacked.append(entry)
         if len(self.barrier_unacked) > self.barrier_unacked_high_water:
             self.barrier_unacked_high_water = len(self.barrier_unacked)
 
-    def handle_barrier_ack(self, src_port: int, barrier_seqno: int) -> bool:
-        """Drop the matching unacked entry; True if one was found."""
+    def handle_barrier_ack(
+        self, src_port: int, barrier_seqno: int
+    ) -> Optional[BarrierUnacked]:
+        """Drop and return the matching unacked entry, if one was found."""
         for i, e in enumerate(self.barrier_unacked):
             if e.src_port == src_port and e.barrier_seqno == barrier_seqno:
                 del self.barrier_unacked[i]
-                return True
-        return False
+                return e
+        return None
 
     def classify_barrier_incoming(self, src_port: int, barrier_seqno: int) -> str:
         """In-order acceptance for the SEPARATE barrier stream.
@@ -237,6 +271,7 @@ class Connection:
         if barrier_seqno == last + 1:
             self.barrier_last_seen[src_port] = barrier_seqno
             return "accept"
+        self.future_dropped += 1
         return "future"
 
     def drop_barrier_unacked_for_port(self, src_port: int) -> None:
@@ -246,6 +281,22 @@ class Connection:
         self.barrier_unacked = [
             e for e in self.barrier_unacked if e.src_port != src_port
         ]
+
+    def clear_unexpected_for_port(self, port_id: int) -> None:
+        """Purge unexpected-record state destined to a closing local port.
+
+        Without this a reused port could match a stale barrier record bit
+        (or consume a stale collective value slot) left behind by the
+        endpoint's previous owner.
+        """
+        self.unexpected.clear_for_dst_port(port_id)
+        stale = [
+            sp
+            for sp, slot in self.coll_unexpected.items()
+            if slot.get("dst_port") == port_id
+        ]
+        for sp in stale:
+            del self.coll_unexpected[sp]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -48,9 +48,11 @@ class RecvMachine(StateMachine):
             elif ptype is PacketType.BARRIER_ACK:
                 yield from self.cpu("recv_control")
                 conn = nic.connection(packet.src_node)
-                conn.handle_barrier_ack(
+                entry = conn.handle_barrier_ack(
                     packet.payload["acked_port"], packet.payload["acked_seqno"]
                 )
+                if entry is not None and entry.retransmits:
+                    nic.recovery_hist.observe(nic.sim.now - entry.first_sent_at)
                 nic.manage_barrier_retransmit_timer(conn)
             elif ptype is PacketType.BARRIER_REJECT:
                 yield from self.cpu("recv_control")
@@ -73,6 +75,8 @@ class RecvMachine(StateMachine):
         done = conn.handle_ack(packet.payload["cum_seqno"])
         nic.manage_retransmit_timer(conn)
         for entry in done:
+            if entry.retransmits:
+                nic.recovery_hist.observe(nic.sim.now - entry.first_sent_at)
             if entry.token is None:
                 continue
             token = entry.token

@@ -33,6 +33,29 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.nic_barrier import NicBarrierEngine
 
 
+class RetransmitLimitExceeded(RuntimeError):
+    """A reliability stream gave up: an unacked packet was retransmitted
+    ``NicParams.max_retransmits`` times without progress.
+
+    This is the *alarm* half of the give-up-or-recover contract: an
+    injected fault (or a real protocol bug) that makes recovery
+    impossible must surface as a loud error, never a silent hang.
+    """
+
+    def __init__(self, node_id: int, remote_node: int, stream: str,
+                 seqno: int, retransmits: int) -> None:
+        super().__init__(
+            f"nic{node_id}: {stream} stream to node {remote_node} gave up "
+            f"on seqno {seqno} after {retransmits} retransmissions "
+            "(peer unreachable or reliability protocol wedged)"
+        )
+        self.node_id = node_id
+        self.remote_node = remote_node
+        self.stream = stream
+        self.seqno = seqno
+        self.retransmits = retransmits
+
+
 @dataclass(frozen=True)
 class NicParams:
     """NIC configuration knobs (beyond the LANai cost model)."""
@@ -47,6 +70,11 @@ class NicParams:
     buffer_bytes: int = 4096
     #: Regular-stream go-back-N retransmission timeout.
     retransmit_timeout_us: float = 1500.0
+    #: Give-up threshold for both reliability streams: when one entry has
+    #: been retransmitted this many times without being acknowledged the
+    #: NIC raises :class:`RetransmitLimitExceeded` instead of retrying
+    #: forever.  None disables the alarm (the pre-hardening behaviour).
+    max_retransmits: Optional[int] = 64
     #: Delayed-ACK coalescing window (GM acks lazily / piggybacked rather
     #: than per packet).  0 acks every packet immediately.
     ack_delay_us: float = 12.0
@@ -109,6 +137,9 @@ class Nic:
             pid: NicPort(sim, node_id, pid) for pid in range(num_ports)
         }
         self._connections: Dict[int, Connection] = {}
+        #: Give-up alarms raised by the reliability streams (each entry is
+        #: the :class:`RetransmitLimitExceeded` that was raised).
+        self.alarms: list = []
 
         # -- inter-machine queues ---------------------------------------------
         self.sdma_inbox: Store = Store(sim, name=f"nic{node_id}.sdma_inbox")
@@ -143,9 +174,14 @@ class Nic:
         registry drops the registrations outright).
         """
         metrics = self.sim.metrics
+        prefix = f"nic{self.node_id}"
+        #: Time from a packet's first transmission to its (eventual) ACK,
+        #: observed only for packets that needed retransmission -- the
+        #: per-NIC time-to-recover distribution.  A null instrument when
+        #: the registry is disabled.
+        self.recovery_hist = metrics.histogram(f"{prefix}.recovery_us")
         if not metrics.enabled:
             return
-        prefix = f"nic{self.node_id}"
         metrics.observe(
             f"{prefix}.cpu.busy_us", lambda: self.cpu_resource.busy_us
         )
@@ -167,6 +203,23 @@ class Nic:
             lambda: sum(
                 c.packets_retransmitted for c in self._connections.values()
             ),
+        )
+        # Recovery-path counters (drops are counted on the links; these
+        # are the receive/acknowledge sides of the same story).
+        for counter in (
+            "packets_acked",
+            "duplicates_dropped",
+            "future_dropped",
+            "nacks_sent",
+        ):
+            metrics.observe(
+                f"{prefix}.{counter}",
+                lambda attr=counter: sum(
+                    getattr(c, attr) for c in self._connections.values()
+                ),
+            )
+        metrics.observe(
+            f"{prefix}.retransmit_alarms", lambda: len(self.alarms)
         )
         metrics.observe(
             f"{prefix}.gbn_window_hw",
@@ -287,9 +340,22 @@ class Nic:
         self.barrier_engine.on_port_open(port_id)
 
     def on_port_close(self, port_id: int) -> None:
-        """Hook for the driver: abandon this port's barrier retransmits."""
+        """Hook for the driver: drop every piece of per-port reliability
+        state a dead endpoint leaves behind.
+
+        Beyond abandoning the port's pending barrier retransmits
+        (Section 3.2) this clears the unexpected-record bits and
+        collective value slots recorded *for* the port -- otherwise a
+        reused port could match a stale record from the previous owner --
+        and cancels the barrier retransmit timer if the unacked list
+        emptied, so no timer keeps firing for an abandoned stream.
+        """
         for conn in self._connections.values():
             conn.drop_barrier_unacked_for_port(port_id)
+            conn.clear_unexpected_for_port(port_id)
+            if not conn.barrier_unacked and conn.barrier_retransmit_timer is not None:
+                conn.barrier_retransmit_timer.cancel()
+                conn.barrier_retransmit_timer = None
 
     # ------------------------------------------------------------------
     # Retransmission timers
@@ -311,11 +377,32 @@ class Nic:
                 self.params.retransmit_timeout_us, self._on_retransmit_timeout, conn
             )
 
+    def _raise_alarm(self, conn: Connection, stream: str, entry) -> None:
+        """Give up on a wedged reliability stream: record + raise."""
+        alarm = RetransmitLimitExceeded(
+            self.node_id,
+            conn.remote_node,
+            stream,
+            entry.seqno if stream == "regular" else entry.barrier_seqno,
+            entry.retransmits,
+        )
+        self.alarms.append(alarm)
+        if self.tracer is not None:
+            self.tracer.record(
+                f"nic{self.node_id}", "reliability.alarm",
+                stream=stream, peer=conn.remote_node,
+                retransmits=entry.retransmits,
+            )
+        raise alarm
+
     def _on_retransmit_timeout(self, conn: Connection) -> None:
         conn.retransmit_timer = None
         if not conn.sent_list:
             return
+        limit = self.params.max_retransmits
         for entry in list(conn.sent_list):
+            if limit is not None and entry.retransmits >= limit:
+                self._raise_alarm(conn, "regular", entry)
             self.sdma_inbox.put(("retransmit", conn.remote_node, entry))
         self.ensure_retransmit_timer(conn)
 
@@ -352,7 +439,10 @@ class Nic:
         conn.barrier_retransmit_timer = None
         if not conn.barrier_unacked:
             return
+        limit = self.params.max_retransmits
         for entry in list(conn.barrier_unacked):
+            if limit is not None and entry.retransmits >= limit:
+                self._raise_alarm(conn, "barrier", entry)
             entry.retransmits += 1
             conn.packets_retransmitted += 1
             self.send_queue.put((self.clone_packet(entry.packet), False))

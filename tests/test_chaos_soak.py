@@ -1,0 +1,131 @@
+"""Chaos-soak regression tests: every barrier algorithm completes with
+correct semantics under seeded random faults, deterministically -- and
+unrecoverable faults trip the max-retransmit alarm instead of hanging."""
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.cluster.runner import run_on_group, spawn_group
+from repro.core.barrier import barrier
+from repro.faults import FaultPlan, LinkFlap
+from repro.faults.soak import run_chaos_soak
+from repro.gm.constants import BarrierReliability
+from repro.nic.nic import NicParams, RetransmitLimitExceeded
+
+
+class TestChaosSoak:
+    def test_all_combinations_complete_safely(self):
+        """Safety (nobody exits before everyone entered) is asserted per
+        repetition inside the soak; reaching the result means every
+        algorithm / reliability combination recovered."""
+        result = run_chaos_soak(11, num_nodes=4, repetitions=2)
+        # host-gb/pe once each + three NIC algorithms x two modes.
+        assert len(result.rows) == 8
+        assert result.total_injected > 0  # the plans actually did damage
+        assert all(row.alarms == 0 for row in result.rows)
+
+    def test_soak_is_deterministic(self):
+        a = run_chaos_soak(11, num_nodes=4, repetitions=2)
+        b = run_chaos_soak(11, num_nodes=4, repetitions=2)
+        assert a.signature() == b.signature()
+
+    def test_different_seeds_produce_different_runs(self):
+        a = run_chaos_soak(11, num_nodes=4, repetitions=2)
+        b = run_chaos_soak(12, num_nodes=4, repetitions=2)
+        assert a.signature() != b.signature()
+
+    def test_recovery_shows_up_in_counters(self):
+        result = run_chaos_soak(11, num_nodes=4, repetitions=2)
+        assert result.total_retransmits > 0
+
+
+def permanently_cut_cluster(mode, max_retransmits=8):
+    """Two nodes; node 1's cable is pulled from t=0 and never restored."""
+    cfg = ClusterConfig(
+        num_nodes=2,
+        nic_params=NicParams(
+            barrier_reliability=mode,
+            retransmit_timeout_us=300.0,
+            barrier_retransmit_timeout_us=200.0,
+            max_retransmits=max_retransmits,
+        ),
+        fault_plan=FaultPlan(
+            seed=1,
+            flaps=[LinkFlap(node=1, down_at=0.0, up_at=None, direction="both")],
+        ),
+    )
+    return build_cluster(cfg)
+
+
+class TestLivelockAlarm:
+    def test_barrier_stream_gives_up_loudly(self):
+        """A permanent link cut in SEPARATE mode must raise the
+        max-retransmit alarm out of the run, never hang silently."""
+        cluster = permanently_cut_cluster(BarrierReliability.SEPARATE)
+
+        def program(ctx):
+            yield from barrier(ctx.port, ctx.group, ctx.rank)
+
+        spawn_group(cluster, program)
+        with pytest.raises(RetransmitLimitExceeded) as exc:
+            cluster.run(max_events=5_000_000)
+        assert exc.value.stream == "barrier"
+        assert exc.value.retransmits >= 8
+        assert any(nic.alarms for nic in
+                   (node.nic for node in cluster.nodes))
+
+    def test_regular_stream_gives_up_loudly(self):
+        cluster = permanently_cut_cluster(BarrierReliability.UNRELIABLE)
+        a = cluster.open_port(0, 2)
+        cluster.open_port(1, 2)
+
+        def sender():
+            yield from a.send_with_callback(1, 2, payload="into the void")
+
+        cluster.spawn(sender())
+        with pytest.raises(RetransmitLimitExceeded) as exc:
+            cluster.run(max_events=5_000_000)
+        assert exc.value.stream == "regular"
+        assert exc.value.node_id == 0
+        assert exc.value.remote_node == 1
+
+    def test_alarm_disabled_reverts_to_retry_forever(self):
+        """max_retransmits=None is the pre-hardening behaviour: bounded
+        runs end without an alarm (and without completing)."""
+        cluster = permanently_cut_cluster(
+            BarrierReliability.SEPARATE, max_retransmits=None
+        )
+
+        def program(ctx):
+            yield from barrier(ctx.port, ctx.group, ctx.rank)
+
+        procs = spawn_group(cluster, program)
+        cluster.run(until=50_000.0)
+        assert any(p.alive for p in procs)  # still stuck...
+        assert all(not node.nic.alarms for node in cluster.nodes)  # ...quietly
+
+    def test_recoverable_outage_does_not_alarm(self):
+        """The alarm must not fire for an outage shorter than the give-up
+        horizon: the link comes back and the barrier completes."""
+        cfg = ClusterConfig(
+            num_nodes=2,
+            nic_params=NicParams(
+                barrier_reliability=BarrierReliability.SEPARATE,
+                retransmit_timeout_us=300.0,
+                barrier_retransmit_timeout_us=200.0,
+                max_retransmits=8,
+            ),
+            fault_plan=FaultPlan(
+                seed=1,
+                flaps=[
+                    LinkFlap(node=1, down_at=10.0, up_at=700.0, direction="both")
+                ],
+            ),
+        )
+        cluster = build_cluster(cfg)
+
+        def program(ctx):
+            yield from barrier(ctx.port, ctx.group, ctx.rank)
+
+        run_on_group(cluster, program, max_events=5_000_000)
+        assert all(not node.nic.alarms for node in cluster.nodes)

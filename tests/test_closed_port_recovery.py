@@ -162,6 +162,82 @@ class TestRejectResendsEveryOutstandingType:
         assert cluster.node(0).nic.barrier_engine.resends == 2
 
 
+class TestCloseClearsUnexpectedState:
+    """Regression (close-path leak): a port close left the unexpected
+    record bits -- and collective value slots -- that were recorded *for*
+    that port on the peer connections, so a reused port could match a
+    stale record from the previous owner."""
+
+    def test_close_purges_records_for_that_port_only(self):
+        cluster = two_node_cluster()
+        nic1 = cluster.node(1).nic
+        conn = nic1.connection(0)
+        conn.unexpected.set(1, dst_port=2)
+        conn.unexpected.set(3, dst_port=4)
+        conn.coll_unexpected[5] = {"dst_port": 2, "value": 42}
+        conn.coll_unexpected[6] = {"dst_port": 4, "value": 43}
+        nic1.on_port_close(2)
+        assert not conn.unexpected.is_set(1)  # purged with its port
+        assert conn.unexpected.is_set(3)  # other port's record survives
+        assert 5 not in conn.coll_unexpected
+        assert 6 in conn.coll_unexpected
+
+    def test_bit_without_destination_is_conservatively_kept(self):
+        cluster = two_node_cluster()
+        nic1 = cluster.node(1).nic
+        conn = nic1.connection(0)
+        conn.unexpected.set(1)  # origin unknown (legacy callers)
+        nic1.on_port_close(2)
+        assert conn.unexpected.is_set(1)
+
+    def test_reused_port_cannot_complete_on_stale_record(self):
+        """End to end: old A's barrier message lands at B's *open* port
+        before B is ready (unexpected record set), then both die.  New
+        B' must not complete its barrier off the stale bit -- without the
+        close-time purge B' exits before new A' even enters."""
+        cluster = two_node_cluster()
+        a = cluster.open_port(0, 2)
+        b = cluster.open_port(1, 2)  # open from the start, never barriers
+        enters = {}
+        done = []
+
+        def old_a_then_new_a():
+            from repro.core.barrier import make_plan
+
+            plan = make_plan(GROUP, 0, "pe")
+            yield from a.provide_barrier_buffer()
+            yield from a.barrier_send_with_callback(plan)
+            yield Timeout(100.0)  # message recorded as unexpected at B
+            a.close()  # old A dies
+            yield Timeout(500.0)
+            a2 = cluster.node(0).driver.open_port(2)
+            enters["A'"] = cluster.now
+            yield from barrier(a2, GROUP, 0)
+            done.append(("A'", cluster.now))
+
+        def old_b_then_new_b():
+            yield Timeout(200.0)
+            assert cluster.node(1).nic.connection(0).unexpected.is_set(2), (
+                "test setup: old A's message should be recorded"
+            )
+            b.close()  # old B dies; the stale record must die with it
+            assert not cluster.node(1).nic.connection(0).unexpected.is_set(2)
+            yield Timeout(100.0)
+            b2 = cluster.node(1).driver.open_port(2)
+            enters["B'"] = cluster.now
+            yield from barrier(b2, GROUP, 1)
+            done.append(("B'", cluster.now))
+
+        cluster.spawn(old_a_then_new_a())
+        cluster.spawn(old_b_then_new_b())
+        cluster.run(max_events=3_000_000)
+        assert len(done) == 2
+        exit_b = next(t for name, t in done if name == "B'")
+        assert exit_b >= enters["A'"], (
+            "B' completed the barrier using the dead process's message"
+        )
+
+
 class TestStaleSenderDoesNotResend:
     def test_resend_suppressed_when_initiator_closed(self):
         """Process A initiates a barrier with B, dies; B's port opens later
