@@ -11,36 +11,46 @@ latency benches (5a/5c) and the improvement-factor benches (5b/5d).
 
 from __future__ import annotations
 
+import os
 from typing import Dict
 
 import pytest
 
 from repro.analysis.calibration import LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM
-from repro.analysis.experiments import measure_barrier_sweep
+from repro.analysis.figure5 import BENCH_REPS, BENCH_WARMUP, run_figure5
 from repro.analysis.tables import format_table
 
-#: Repetitions per measurement: the paper averaged 100k noisy hardware
-#: runs; the simulator is deterministic, so a handful suffices.
-REPS = 6
-WARMUP = 2
+#: Repetitions per measurement -- shared with ``report.py`` through
+#: :mod:`repro.analysis.figure5`, the single source of truth for the
+#: Figure-5 sweep definition.
+REPS = BENCH_REPS
+WARMUP = BENCH_WARMUP
+
+#: Optional campaign parallelism/caching for the session sweeps:
+#: ``REPRO_CAMPAIGN_JOBS=4 REPRO_CAMPAIGN_CACHE=.campaign-cache pytest
+#: benchmarks/`` fans the sweep out and reuses unchanged results.
+_JOBS = int(os.environ.get("REPRO_CAMPAIGN_JOBS", "1"))
+_CACHE = os.environ.get("REPRO_CAMPAIGN_CACHE") or None
 
 
 @pytest.fixture(scope="session")
 def fig5_lanai43():
     """The Figure 5(a)/(b) sweep: LANai 4.3, N in {2,4,8,16}."""
-    cfg = LANAI_4_3_SYSTEM.cluster_config(16)
-    return measure_barrier_sweep(
-        cfg, sizes=LANAI_4_3_SYSTEM.sizes, repetitions=REPS, warmup=WARMUP
+    sweep, _ = run_figure5(
+        LANAI_4_3_SYSTEM, repetitions=REPS, warmup=WARMUP,
+        jobs=_JOBS, cache_dir=_CACHE,
     )
+    return sweep
 
 
 @pytest.fixture(scope="session")
 def fig5_lanai72():
     """The Figure 5(c)/(d) sweep: LANai 7.2, N in {2,4,8}."""
-    cfg = LANAI_7_2_SYSTEM.cluster_config(8)
-    return measure_barrier_sweep(
-        cfg, sizes=LANAI_7_2_SYSTEM.sizes, repetitions=REPS, warmup=WARMUP
+    sweep, _ = run_figure5(
+        LANAI_7_2_SYSTEM, repetitions=REPS, warmup=WARMUP,
+        jobs=_JOBS, cache_dir=_CACHE,
     )
+    return sweep
 
 
 def emit(title: str, headers, rows) -> None:

@@ -54,6 +54,29 @@ class BarrierMeasurement:
         dim = f" dim={self.dimension}" if self.dimension is not None else ""
         return f"{where}-{self.algorithm.upper()}{dim}"
 
+    def to_dict(self) -> dict:
+        """A JSON-able dict (the campaign ResultStore payload schema).
+
+        Floats survive exactly: JSON's shortest-repr rendering
+        round-trips IEEE-754 doubles bit-for-bit.
+        """
+        return {
+            "num_nodes": self.num_nodes,
+            "algorithm": self.algorithm,
+            "nic_based": self.nic_based,
+            "dimension": self.dimension,
+            "mean_latency_us": self.mean_latency_us,
+            "min_latency_us": self.min_latency_us,
+            "max_latency_us": self.max_latency_us,
+            "per_barrier_us": list(self.per_barrier_us),
+            "lanai_name": self.lanai_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BarrierMeasurement":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
 
 def _barrier_loop_program(
     ctx,
@@ -184,34 +207,31 @@ def measure_barrier_sweep(
     repetitions: int = DEFAULT_REPS,
     warmup: int = DEFAULT_WARMUP,
     gb_dimensions: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    store=None,
+    cache_dir=None,
 ) -> Dict[str, Dict[int, BarrierMeasurement]]:
     """The full Figure-5 style sweep: all four barrier variants across
     system sizes.  Returns ``results[variant][n]`` with variants
     ``host-pe``, ``nic-pe``, ``host-gb``, ``nic-gb`` (GB at the best
-    dimension per size)."""
-    results: Dict[str, Dict[int, BarrierMeasurement]] = {
-        "host-pe": {},
-        "nic-pe": {},
-        "host-gb": {},
-        "nic-gb": {},
-    }
-    for n in sizes:
-        cfg = config.with_(num_nodes=n)
-        results["host-pe"][n] = measure_barrier(
-            cfg, nic_based=False, algorithm="pe",
-            repetitions=repetitions, warmup=warmup,
-        )
-        results["nic-pe"][n] = measure_barrier(
-            cfg, nic_based=True, algorithm="pe",
-            repetitions=repetitions, warmup=warmup,
-        )
-        if n >= 2:
-            results["host-gb"][n] = best_gb_dimension(
-                cfg, nic_based=False, repetitions=repetitions, warmup=warmup,
-                dimensions=gb_dimensions,
-            )
-            results["nic-gb"][n] = best_gb_dimension(
-                cfg, nic_based=True, repetitions=repetitions, warmup=warmup,
-                dimensions=gb_dimensions,
-            )
-    return results
+    dimension per size).
+
+    The sweep is submitted through :mod:`repro.campaign` -- one job per
+    (size, variant, GB dimension) -- so it can fan out over ``jobs``
+    worker processes and reuse cached results from ``store`` /
+    ``cache_dir``.  The default (``jobs=1``, no store) runs everything
+    inline and is bit-identical to the historical serial loop.
+    """
+    from repro.analysis.figure5 import run_measure_sweep
+
+    sweep, _ = run_measure_sweep(
+        config,
+        sizes,
+        repetitions=repetitions,
+        warmup=warmup,
+        gb_dimensions=gb_dimensions,
+        jobs=jobs,
+        store=store,
+        cache_dir=cache_dir,
+    )
+    return sweep

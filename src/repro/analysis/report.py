@@ -5,6 +5,15 @@ Figure 5 sweeps on both simulated testbeds, prints the
 paper-vs-measured tables, and (with ``--out``) writes ``figure5.csv`` and
 ``report.md`` so results can be diffed across revisions.
 
+The sweeps are submitted through the :mod:`repro.campaign` subsystem:
+``--jobs N`` fans the independent measurements out over N worker
+processes (bit-identical to the serial run), ``--cache-dir DIR`` reuses
+content-addressed cached results (an unchanged sweep re-simulates
+nothing), ``--json OUT`` additionally writes the paper-vs-measured
+tables as machine-readable JSON, and every sweep run leaves a
+consolidated ``BENCH_campaign.json`` trajectory (in ``--out`` when
+given, else the working directory).  See ``docs/campaigns.md``.
+
 ``python -m repro.analysis.report --observe N [--trace-out FILE]``
 instead runs one instrumented N-node dissemination barrier with the
 metrics registry live and prints the per-component metrics table (NIC
@@ -26,6 +35,7 @@ from __future__ import annotations
 import argparse
 import csv
 import io
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -36,22 +46,32 @@ from repro.analysis.calibration import (
     SystemCalibration,
 )
 from repro.analysis.charts import ascii_line_chart
-from repro.analysis.experiments import BarrierMeasurement, measure_barrier_sweep
+from repro.analysis.experiments import BarrierMeasurement
+from repro.analysis.figure5 import (
+    BENCH_REPS,
+    BENCH_WARMUP,
+    QUICK_REPS,
+    QUICK_WARMUP,
+    VARIANTS,
+    run_figure5,
+)
 from repro.analysis.tables import format_table
-
-VARIANTS = ("host-pe", "nic-pe", "host-gb", "nic-gb")
 
 
 def generate_figure5(
-    system: SystemCalibration, repetitions: int, warmup: int
+    system: SystemCalibration,
+    repetitions: int,
+    warmup: int,
+    jobs: int = 1,
+    store=None,
+    cache_dir=None,
 ) -> Dict[str, Dict[int, BarrierMeasurement]]:
     """Run the four-variant sweep over the system's published sizes."""
-    return measure_barrier_sweep(
-        system.cluster_config(max(system.sizes)),
-        sizes=system.sizes,
-        repetitions=repetitions,
-        warmup=warmup,
+    sweep, _ = run_figure5(
+        system, repetitions=repetitions, warmup=warmup,
+        jobs=jobs, store=store, cache_dir=cache_dir,
     )
+    return sweep
 
 
 def figure5_rows(system: SystemCalibration, sweep) -> List[list]:
@@ -186,6 +206,55 @@ def write_outputs(out_dir: Path, all_rows: List[list]) -> None:
     (out_dir / "report.md").write_text(render_report(all_rows))
 
 
+def tables_json(
+    systems: List[SystemCalibration],
+    sweeps: Dict[str, Dict[str, Dict[int, BarrierMeasurement]]],
+) -> dict:
+    """The paper-vs-measured tables as a JSON-able document.
+
+    Measurements reuse the campaign ResultStore payload schema
+    (:meth:`BarrierMeasurement.to_dict`), so the rows here and the
+    cached/BENCH artifacts describe results in the same shape.
+    """
+    from repro.campaign.serialize import CODE_VERSION
+
+    doc: dict = {"code_version": CODE_VERSION, "systems": []}
+    for system in systems:
+        sweep = sweeps[system.lanai_model.name]
+        rows = []
+        for n in system.sizes:
+            entry: dict = {"num_nodes": n, "measured": {}, "paper": {}}
+            for variant in VARIANTS:
+                m = sweep[variant].get(n)
+                if m is not None:
+                    entry["measured"][variant] = m.to_dict()
+            entry["measured"]["factor-pe"] = (
+                sweep["host-pe"][n].mean_latency_us
+                / sweep["nic-pe"][n].mean_latency_us
+            )
+            entry["measured"]["factor-gb"] = (
+                sweep["host-gb"][n].mean_latency_us
+                / sweep["nic-gb"][n].mean_latency_us
+            )
+            for variant in VARIANTS + ("factor-pe", "factor-gb"):
+                anchor = system.anchor(n, variant)
+                if anchor is not None:
+                    entry["paper"][variant] = {
+                        "description": anchor.description,
+                        "value": anchor.value,
+                        "kind": anchor.kind,
+                    }
+            rows.append(entry)
+        doc["systems"].append(
+            {
+                "card": system.lanai_model.name,
+                "name": system.name,
+                "rows": rows,
+            }
+        )
+    return doc
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -195,6 +264,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="directory for figure5.csv and report.md")
     parser.add_argument("--system", choices=["4.3", "7.2", "both"],
                         default="both")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="campaign worker processes (1 = inline serial; "
+                             "parallel results are bit-identical)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="content-addressed result cache directory; "
+                             "unchanged configs are never re-simulated")
+    parser.add_argument("--json", type=Path, default=None, metavar="OUT",
+                        help="also write the paper-vs-measured tables as "
+                             "machine-readable JSON to this file")
     parser.add_argument("--observe", type=int, metavar="N", default=None,
                         help="run one instrumented N-node dissemination "
                              "barrier and print the metrics table")
@@ -216,7 +294,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.faults import run_chaos_soak
 
         result = run_chaos_soak(
-            args.faults, num_nodes=args.nodes, repetitions=args.reps
+            args.faults, num_nodes=args.nodes, repetitions=args.reps,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
         )
         print(f"chaos soak: seed={result.seed} nodes={result.num_nodes} "
               f"reps={result.repetitions}")
@@ -234,25 +314,58 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {args.trace_out}", file=sys.stderr)
         return 0
 
-    reps = 3 if args.quick else 6
-    warmup = 1 if args.quick else 2
+    from repro.analysis.figure5 import assemble_sweep, figure5_spec
+    from repro.campaign import run_campaign, write_bench
+
+    reps = QUICK_REPS if args.quick else BENCH_REPS
+    warmup = QUICK_WARMUP if args.quick else BENCH_WARMUP
     systems = {
         "4.3": [LANAI_4_3_SYSTEM],
         "7.2": [LANAI_7_2_SYSTEM],
         "both": [LANAI_4_3_SYSTEM, LANAI_7_2_SYSTEM],
     }[args.system]
 
-    all_rows: List[list] = []
+    # One campaign for every selected testbed: the jobs are independent,
+    # so both systems' sweeps share the worker pool and the cache.
+    campaign_jobs = []
     for system in systems:
         print(f"sweeping {system.name} ...", file=sys.stderr)
-        sweep = generate_figure5(system, reps, warmup)
+        campaign_jobs.extend(
+            figure5_spec(system, repetitions=reps, warmup=warmup).compile()
+        )
+    campaign = run_campaign(
+        campaign_jobs, jobs=args.jobs, cache_dir=args.cache_dir,
+        name="figure5",
+    ).raise_on_failure()
+    print(
+        f"campaign: {len(campaign.results)} jobs, "
+        f"{campaign.cache_hits} cache hits, "
+        f"{campaign.simulated} simulated, {campaign.failed} failed",
+        file=sys.stderr,
+    )
+
+    all_rows: List[list] = []
+    sweeps: Dict[str, Dict[str, Dict[int, BarrierMeasurement]]] = {}
+    for system in systems:
+        sweep = assemble_sweep(campaign, lanai_name=system.lanai_model.name)
+        sweeps[system.lanai_model.name] = sweep
         all_rows.extend(figure5_rows(system, sweep))
 
     print(render_report(all_rows))
+    bench_dir = args.out if args.out is not None else Path(".")
+    bench_dir.mkdir(parents=True, exist_ok=True)
+    bench_path = write_bench(bench_dir, campaign)
+    print(f"wrote {bench_path}", file=sys.stderr)
     if args.out is not None:
         write_outputs(args.out, all_rows)
         print(f"wrote {args.out}/figure5.csv and {args.out}/report.md",
               file=sys.stderr)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(tables_json(systems, sweeps), indent=1, sort_keys=True)
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,326 @@
+"""The campaign executor: run many independent simulations, fast.
+
+``run_campaign`` takes a :class:`~repro.campaign.spec.CampaignSpec` (or
+an explicit list of :class:`~repro.campaign.spec.JobSpec`) and executes
+every job that misses the :class:`~repro.campaign.store.ResultStore`,
+serially (``jobs=1``) or on a ``concurrent.futures`` process pool
+(``jobs=N``).  Results come back in submission order regardless of
+completion order, so the parallel path is bit-identical to the serial
+one: each job is a self-contained simulation whose outcome depends only
+on its spec.
+
+Failure containment: the worker entry point catches everything a job
+raises and returns the error + traceback as data, so one hostile fault
+plan (say, a :class:`~repro.nic.nic.RetransmitLimitExceeded` alarm)
+becomes a failed :class:`JobResult` while sibling jobs complete.  A
+worker that dies outright (segfault, ``os._exit``) surfaces as
+``BrokenProcessPool`` on its future -- also captured per job, never a
+hung pool.
+
+Progress streams through the PR-1 observability machinery: a
+:class:`~repro.sim.metrics.MetricsRegistry` counts submissions, cache
+hits, completions and failures, and the ``repro.campaign`` logger emits
+one line per job.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+import traceback as traceback_module
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.campaign.serialize import CODE_VERSION
+from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.campaign.store import ResultStore, write_bench
+from repro.sim.metrics import MetricsRegistry
+
+logger = logging.getLogger("repro.campaign")
+
+
+class CampaignJobError(RuntimeError):
+    """A campaign job failed and the caller asked for exceptions.
+
+    Carries the failed job's tag, the original error string and its
+    full traceback text (the original exception object lived in a worker
+    process and cannot always be rebuilt here).
+    """
+
+    def __init__(self, result: "JobResult") -> None:
+        super().__init__(
+            f"campaign job {result.spec.tag or result.key} failed: "
+            f"{result.error}\n{result.traceback or ''}"
+        )
+        self.job = result
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _execute_job_payload(job: dict) -> dict:
+    """Execute one serialized job; always returns a payload dict.
+
+    Module-level so it pickles under every multiprocessing start method.
+    Imports are lazy both to keep worker startup light and to avoid
+    import cycles (the soak harness itself submits through this module).
+    """
+    start = time.perf_counter()
+    try:
+        kind = job["kind"]
+        params = job.get("params", {})
+        if kind == "measure":
+            from repro.analysis.experiments import measure_barrier
+            from repro.campaign.serialize import cluster_config_from_dict
+
+            config = cluster_config_from_dict(job["config"])
+            measurement = measure_barrier(
+                config,
+                nic_based=params["nic_based"],
+                algorithm=params.get("algorithm", "pe"),
+                dimension=params.get("dimension"),
+                repetitions=params.get("repetitions", 12),
+                warmup=params.get("warmup", 3),
+                skew_max_us=params.get("skew_max_us", 0.0),
+                max_events=params.get("max_events"),
+            )
+            value = measurement.to_dict()
+        elif kind == "soak":
+            from repro.faults.soak import run_soak_combo
+            from repro.gm.constants import BarrierReliability
+
+            kwargs = dict(params)
+            kwargs["reliability"] = BarrierReliability[kwargs["reliability"]]
+            value = run_soak_combo(**kwargs).to_dict()
+        elif kind == "_probe":
+            # Test hook: lets the executor's failure paths be exercised
+            # without a real simulation.  "crash" kills the worker
+            # process outright (the BrokenProcessPool path).
+            action = params.get("action", "echo")
+            if action == "crash":
+                import os
+
+                os._exit(13)
+            if action == "raise":
+                raise ValueError(params.get("message", "probe failure"))
+            value = dict(params)
+        else:
+            raise ValueError(f"unknown campaign job kind {kind!r}")
+        return {
+            "ok": True,
+            "value": value,
+            "elapsed_s": time.perf_counter() - start,
+        }
+    except Exception as exc:
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "error_type": type(exc).__name__,
+            "traceback": traceback_module.format_exc(),
+            "elapsed_s": time.perf_counter() - start,
+        }
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass
+class JobResult:
+    """Outcome of one job: a value (fresh or cached) or an error."""
+
+    spec: JobSpec
+    key: str
+    ok: bool
+    cached: bool = False
+    value: Optional[dict] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    traceback: Optional[str] = None
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class CampaignResult:
+    """Everything one ``run_campaign`` call produced."""
+
+    name: str
+    results: List[JobResult] = field(default_factory=list)
+    metrics: MetricsRegistry = field(
+        default_factory=lambda: MetricsRegistry(sim=None, enabled=True)
+    )
+    elapsed_s: float = 0.0
+    code_version: str = CODE_VERSION
+
+    @property
+    def cache_hits(self) -> int:
+        """Jobs answered from the result store."""
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def simulated(self) -> int:
+        """Jobs that actually executed (hit or raised) this run."""
+        return sum(1 for r in self.results if not r.cached)
+
+    @property
+    def failed(self) -> int:
+        """Jobs that ended in an error."""
+        return sum(1 for r in self.results if not r.ok)
+
+    def failures(self) -> List[JobResult]:
+        """The failed jobs, in submission order."""
+        return [r for r in self.results if not r.ok]
+
+    def values(self) -> List[dict]:
+        """The successful result payloads, in submission order."""
+        return [r.value for r in self.results if r.ok]
+
+    def raise_on_failure(self) -> "CampaignResult":
+        """Raise :class:`CampaignJobError` for the first failed job."""
+        for r in self.results:
+            if not r.ok:
+                raise CampaignJobError(r)
+        return self
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+def run_campaign(
+    work: Union[CampaignSpec, JobSpec, Sequence[JobSpec]],
+    *,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    cache_dir=None,
+    name: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    bench_path=None,
+    code_version: str = CODE_VERSION,
+) -> CampaignResult:
+    """Execute a campaign; see the module docstring for the contract.
+
+    Parameters
+    ----------
+    work:
+        A :class:`CampaignSpec` (compiled here), one :class:`JobSpec`,
+        or a sequence of them.
+    jobs:
+        Worker processes.  ``1`` runs everything inline in this process
+        (no pool, no pickling) -- the reference serial path the parallel
+        one must match bit-for-bit.
+    store / cache_dir:
+        An explicit :class:`ResultStore`, or a directory to open one in.
+        Without either, nothing is cached.
+    metrics:
+        An existing registry to count into (one is created otherwise).
+    bench_path:
+        File or directory to write the consolidated
+        ``BENCH_campaign.json`` artifact into.
+    """
+    started = time.perf_counter()
+    if isinstance(work, CampaignSpec):
+        specs = work.compile()
+        name = name or work.name
+    elif isinstance(work, JobSpec):
+        specs = [work]
+    else:
+        specs = list(work)
+    name = name or "campaign"
+    if store is None and cache_dir is not None:
+        store = ResultStore(cache_dir, code_version=code_version)
+    registry = metrics if metrics is not None else MetricsRegistry(
+        sim=None, enabled=True
+    )
+    registry.counter("campaign.jobs").inc(len(specs))
+
+    results: List[Optional[JobResult]] = [None] * len(specs)
+    pending: List[tuple] = []  # (index, spec, key)
+    for index, spec in enumerate(specs):
+        key = (
+            store.key_for(spec)
+            if store is not None
+            else spec.cache_key(code_version=code_version)
+        )
+        record = store.get(key) if store is not None else None
+        if record is not None:
+            registry.counter("campaign.cache_hits").inc()
+            logger.info("[%s] cache hit %s", name, spec.tag or key[:12])
+            results[index] = JobResult(
+                spec=spec, key=key, ok=True, cached=True,
+                value=record["result"],
+            )
+        else:
+            pending.append((index, spec, key))
+
+    def finish(index: int, spec: JobSpec, key: str, payload: dict) -> None:
+        ok = payload.get("ok", False)
+        result = JobResult(
+            spec=spec,
+            key=key,
+            ok=ok,
+            cached=False,
+            value=payload.get("value"),
+            error=payload.get("error"),
+            error_type=payload.get("error_type"),
+            traceback=payload.get("traceback"),
+            elapsed_s=payload.get("elapsed_s", 0.0),
+        )
+        results[index] = result
+        if ok:
+            registry.counter("campaign.completed").inc()
+            if store is not None:
+                store.put(spec, result.value)
+            logger.info(
+                "[%s] done %s (%.2fs)", name, spec.tag or key[:12],
+                result.elapsed_s,
+            )
+        else:
+            registry.counter("campaign.failed").inc()
+            logger.warning(
+                "[%s] FAILED %s: %s", name, spec.tag or key[:12], result.error
+            )
+
+    if pending:
+        workers = max(1, min(jobs, len(pending)))
+        if workers == 1:
+            for index, spec, key in pending:
+                finish(index, spec, key, _execute_job_payload(spec.to_dict()))
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    (index, spec, key,
+                     pool.submit(_execute_job_payload, spec.to_dict()))
+                    for index, spec, key in pending
+                ]
+                for index, spec, key, future in futures:
+                    try:
+                        payload = future.result()
+                    except Exception as exc:
+                        # The worker process died (BrokenProcessPool) or
+                        # the payload failed to unpickle: a per-job
+                        # error, not a hung or poisoned campaign.
+                        payload = {
+                            "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "error_type": type(exc).__name__,
+                            "traceback": traceback_module.format_exc(),
+                        }
+                    finish(index, spec, key, payload)
+
+    final: List[JobResult] = [r for r in results if r is not None]
+    assert len(final) == len(specs), "executor lost a job result"
+    outcome = CampaignResult(
+        name=name,
+        results=final,
+        metrics=registry,
+        elapsed_s=time.perf_counter() - started,
+        code_version=code_version,
+    )
+    logger.info(
+        "[%s] %d jobs: %d cached, %d simulated, %d failed (%.2fs)",
+        name, len(final), outcome.cache_hits, outcome.simulated,
+        outcome.failed, outcome.elapsed_s,
+    )
+    if bench_path is not None:
+        write_bench(bench_path, outcome)
+    return outcome

@@ -1,0 +1,194 @@
+"""Declarative campaign specs and the jobs they compile to.
+
+A :class:`CampaignSpec` is pure data: a base cluster config plus a
+grid and/or explicit list of sweep points, with shared measurement
+parameters (repetitions, warmup, skew, fault seed).  ``compile()`` turns
+it into a flat list of :class:`JobSpec` -- one fully-resolved,
+independently executable simulation each -- which the executor runs in
+any order, in any process, with bit-identical results.
+
+Point semantics: each point is a dict whose keys split into measurement
+parameters (:data:`MEASURE_KEYS`: ``nic_based``, ``algorithm``,
+``dimension``, ``repetitions``, ``warmup``, ``skew_max_us``,
+``max_events``) and :class:`~repro.cluster.builder.ClusterConfig`
+overrides (everything else, e.g. ``num_nodes``, ``seed``,
+``nic_params``).  Grid axes expand by cartesian product; explicit
+``points`` are appended as-is.  With ``fault_seed`` set, every compiled
+config that has no explicit fault plan gets
+``FaultPlan.random(fault_seed, num_nodes)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.serialize import (
+    CODE_VERSION,
+    cluster_config_from_dict,
+    cluster_config_to_dict,
+    content_key,
+)
+
+#: Point keys routed to the measurement harness rather than the config.
+MEASURE_KEYS = (
+    "nic_based",
+    "algorithm",
+    "dimension",
+    "repetitions",
+    "warmup",
+    "skew_max_us",
+    "max_events",
+)
+
+#: Defaults matching :mod:`repro.analysis.experiments`.
+DEFAULT_REPETITIONS = 12
+DEFAULT_WARMUP = 3
+DEFAULT_MAX_EVENTS = 20_000_000
+
+
+@dataclass
+class JobSpec:
+    """One fully-resolved unit of campaign work.
+
+    ``kind`` selects the worker entry point (``"measure"`` runs
+    :func:`repro.analysis.experiments.measure_barrier`; ``"soak"`` runs
+    one chaos-soak combination).  ``config`` is the serialized cluster
+    config, ``params`` the kind-specific parameters; both are plain
+    JSON-able dicts so the job can cross a process boundary and be
+    content-hashed.  ``tag`` is a human label for logs and reports and
+    is deliberately *excluded* from the cache key.
+    """
+
+    kind: str
+    config: dict = field(default_factory=dict)
+    params: dict = field(default_factory=dict)
+    tag: str = ""
+
+    def cache_key(self, code_version: str = CODE_VERSION) -> str:
+        """Content hash of (kind, config, params) + the code version."""
+        return content_key(
+            {"kind": self.kind, "config": self.config, "params": self.params},
+            code_version=code_version,
+        )
+
+    def to_dict(self) -> dict:
+        """A plain dict (what travels to worker processes)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return cls(
+            kind=data["kind"],
+            config=dict(data.get("config", {})),
+            params=dict(data.get("params", {})),
+            tag=data.get("tag", ""),
+        )
+
+
+def _measure_tag(name: str, config: dict, params: dict) -> str:
+    """Stable human-readable label for a measurement job."""
+    where = "nic" if params.get("nic_based", True) else "host"
+    algo = params.get("algorithm", "pe")
+    tag = f"{name}/{config['lanai_model']['name']}/n{config['num_nodes']}"
+    tag += f"/{where}-{algo}"
+    if params.get("dimension") is not None:
+        tag += f"-d{params['dimension']}"
+    if config.get("seed"):
+        tag += f"/s{config['seed']}"
+    return tag
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative sweep; see the module docstring for semantics."""
+
+    name: str = "campaign"
+    #: Serialized ClusterConfig the points start from (partial is fine).
+    base_config: dict = field(default_factory=dict)
+    #: Cartesian axes: key -> list of values.
+    grid: Dict[str, list] = field(default_factory=dict)
+    #: Explicit sweep points appended after the grid expansion.
+    points: List[dict] = field(default_factory=list)
+    repetitions: int = DEFAULT_REPETITIONS
+    warmup: int = DEFAULT_WARMUP
+    skew_max_us: float = 0.0
+    #: Derive a FaultPlan.random(fault_seed, num_nodes) for every point
+    #: whose config does not already carry an explicit plan.
+    fault_seed: Optional[int] = None
+    max_events: Optional[int] = DEFAULT_MAX_EVENTS
+
+    # -- config round-trip ------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-able dict reproducing this spec via :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown CampaignSpec keys: {sorted(unknown)}")
+        return cls(**data)
+
+    # -- expansion --------------------------------------------------------
+    def expand_points(self) -> List[dict]:
+        """Grid product (axes in sorted-name order) + explicit points."""
+        out: List[dict] = []
+        if self.grid:
+            axes = sorted(self.grid)
+            for combo in itertools.product(*(self.grid[a] for a in axes)):
+                out.append(dict(zip(axes, combo)))
+        out.extend(dict(p) for p in self.points)
+        if not out:
+            out.append({})
+        return out
+
+    def compile(self) -> List[JobSpec]:
+        """Resolve every point into an executable, hashable job."""
+        from repro.faults.plan import FaultPlan  # lazy: avoids pkg cycle
+
+        jobs: List[JobSpec] = []
+        for point in self.expand_points():
+            unknown = (
+                set(point)
+                - set(MEASURE_KEYS)
+                - {"lanai_model", "host_params", "nic_params", "net_params",
+                   "topology", "fault_plan", "num_nodes", "seed", "trace",
+                   "metrics", "profile"}
+            )
+            if unknown:
+                raise ValueError(
+                    f"campaign {self.name!r}: unknown point keys "
+                    f"{sorted(unknown)}"
+                )
+            params = {
+                "nic_based": bool(point.get("nic_based", True)),
+                "algorithm": str(point.get("algorithm", "pe")),
+                "dimension": point.get("dimension"),
+                "repetitions": int(point.get("repetitions", self.repetitions)),
+                "warmup": int(point.get("warmup", self.warmup)),
+                "skew_max_us": float(point.get("skew_max_us", self.skew_max_us)),
+                "max_events": point.get("max_events", self.max_events),
+            }
+            config_dict = dict(self.base_config)
+            config_dict.update(
+                {k: v for k, v in point.items() if k not in MEASURE_KEYS}
+            )
+            config = cluster_config_from_dict(config_dict)
+            if self.fault_seed is not None and config.fault_plan is None:
+                config = config.with_(
+                    fault_plan=FaultPlan.random(
+                        self.fault_seed, config.num_nodes
+                    )
+                )
+            resolved = cluster_config_to_dict(config)
+            jobs.append(
+                JobSpec(
+                    kind="measure",
+                    config=resolved,
+                    params=params,
+                    tag=_measure_tag(self.name, resolved, params),
+                )
+            )
+        return jobs

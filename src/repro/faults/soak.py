@@ -18,7 +18,7 @@ is reproducible from just its seed (``report.py --faults SEED``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cluster.builder import ClusterConfig, build_cluster
@@ -69,6 +69,15 @@ class SoakRow:
     def injected(self) -> int:
         """Packets the fault plan removed from the wire."""
         return self.drops + self.corruptions
+
+    def to_dict(self) -> dict:
+        """A JSON-able dict (the campaign ResultStore payload schema)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SoakRow":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
 
 @dataclass
@@ -199,24 +208,22 @@ def run_soak_combo(
     )
 
 
-def run_chaos_soak(
+def soak_jobs(
     seed: int,
     num_nodes: int = 8,
     repetitions: int = 3,
     intensity: float = 1.0,
     max_events: int = 5_000_000,
     combos: Optional[List[tuple]] = None,
-) -> SoakResult:
-    """Soak every barrier algorithm under seeded faults; see module doc.
+) -> List:
+    """The soak as campaign jobs: one ``kind="soak"`` job per
+    (algorithm, reliability) combination, each carrying everything
+    :func:`run_soak_combo` needs as plain JSON-able params (so results
+    are content-addressable and the combos can run in any process)."""
+    from repro.campaign.spec import JobSpec  # lazy: soak is imported at
+    # package init, the campaign worker imports this module back
 
-    Raises :class:`AssertionError` on a safety violation and lets
-    :class:`~repro.nic.nic.RetransmitLimitExceeded` propagate -- a plan
-    from :meth:`FaultPlan.random` is recoverable by construction, so an
-    alarm here means a real recovery-path bug.
-    """
-    result = SoakResult(
-        seed=seed, num_nodes=num_nodes, repetitions=repetitions
-    )
+    jobs: List[JobSpec] = []
     index = 0
     for label, nic_based, algorithm in ALGORITHMS:
         modes = RELIABILITY_MODES if nic_based else (RELIABILITY_MODES[0],)
@@ -224,18 +231,71 @@ def run_chaos_soak(
             if combos is not None and (label, reliability.name) not in combos:
                 index += 1
                 continue
-            result.rows.append(
-                run_soak_combo(
-                    seed=_combo_seed(seed, index),
-                    label=label,
-                    nic_based=nic_based,
-                    algorithm=algorithm,
-                    reliability=reliability,
-                    num_nodes=num_nodes,
-                    repetitions=repetitions,
-                    intensity=intensity,
-                    max_events=max_events,
+            jobs.append(
+                JobSpec(
+                    kind="soak",
+                    params={
+                        "seed": _combo_seed(seed, index),
+                        "label": label,
+                        "nic_based": nic_based,
+                        "algorithm": algorithm,
+                        "reliability": reliability.name,
+                        "num_nodes": num_nodes,
+                        "repetitions": repetitions,
+                        "intensity": intensity,
+                        "max_events": max_events,
+                    },
+                    tag=f"soak-{seed}/{label}/{reliability.name.lower()}",
                 )
             )
             index += 1
+    return jobs
+
+
+def run_chaos_soak(
+    seed: int,
+    num_nodes: int = 8,
+    repetitions: int = 3,
+    intensity: float = 1.0,
+    max_events: int = 5_000_000,
+    combos: Optional[List[tuple]] = None,
+    jobs: int = 1,
+    store=None,
+    cache_dir=None,
+) -> SoakResult:
+    """Soak every barrier algorithm under seeded faults; see module doc.
+
+    The combinations are submitted through :mod:`repro.campaign`
+    (``jobs`` worker processes, optional content-addressed result cache),
+    so a soak sweep shares the executor and caching of every other
+    campaign in the repo.  A safety violation or a
+    :class:`~repro.nic.nic.RetransmitLimitExceeded` alarm in any
+    combination raises :class:`~repro.campaign.executor.CampaignJobError`
+    carrying the failing combo's traceback -- a plan from
+    :meth:`FaultPlan.random` is recoverable by construction, so a failure
+    here means a real recovery-path bug.
+    """
+    from repro.campaign.executor import run_campaign
+
+    specs = soak_jobs(
+        seed,
+        num_nodes=num_nodes,
+        repetitions=repetitions,
+        intensity=intensity,
+        max_events=max_events,
+        combos=combos,
+    )
+    campaign = run_campaign(
+        specs,
+        jobs=jobs,
+        store=store,
+        cache_dir=cache_dir,
+        name=f"chaos-soak-{seed}",
+    ).raise_on_failure()
+    result = SoakResult(
+        seed=seed, num_nodes=num_nodes, repetitions=repetitions
+    )
+    result.rows.extend(
+        SoakRow.from_dict(job.value) for job in campaign.results
+    )
     return result
