@@ -158,3 +158,48 @@ class TestMetricsOverhead:
             f"disabled-metrics dispatch is {overhead:.1%} slower than the "
             f"pre-observability loop (limit 5%)"
         )
+
+
+class TestFlightRecorderOverhead:
+    def test_always_on_ring_under_5_percent_on_figure5_work(self):
+        """The flight recorder is on by default, so its ring append (one
+        per trace-site call, tracing off) must cost <5% wall clock on
+        the Figure-5 unit of work.  Compared against ``flight_size=0``
+        (best-of-N interleaved minima, so scheduler noise cancels).
+        """
+        import repro.sim.tracing as tracing
+        from repro.analysis.experiments import measure_barrier
+
+        def sweep() -> float:
+            t0 = time.perf_counter()
+            for nic_based in (True, False):
+                measure_barrier(
+                    LANAI_4_3_SYSTEM.cluster_config(16),
+                    nic_based=nic_based, algorithm="pe",
+                    repetitions=3, warmup=1,
+                )
+            return time.perf_counter() - t0
+
+        original_init = tracing.Tracer.__init__
+
+        def no_flight_init(self, sim, enabled=False, categories=None,
+                           flight_size=0):
+            original_init(self, sim, enabled=enabled,
+                          categories=categories, flight_size=0)
+
+        sweep()  # warm imports and caches outside the timed region
+        with_ring = without_ring = float("inf")
+        try:
+            for _ in range(9):
+                tracing.Tracer.__init__ = original_init
+                with_ring = min(with_ring, sweep())
+                tracing.Tracer.__init__ = no_flight_init
+                without_ring = min(without_ring, sweep())
+        finally:
+            tracing.Tracer.__init__ = original_init
+
+        overhead = with_ring / without_ring - 1.0
+        assert overhead < 0.05, (
+            f"always-on flight ring costs {overhead:.1%} wall clock on the "
+            f"Figure-5 measurement (limit 5%)"
+        )

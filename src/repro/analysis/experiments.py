@@ -46,6 +46,10 @@ class BarrierMeasurement:
     max_latency_us: float
     per_barrier_us: List[float] = field(repr=False, default_factory=list)
     lanai_name: str = ""
+    #: Optional :meth:`repro.analysis.critical_path.CriticalPath.summary`
+    #: of one traced barrier at the same config (None unless the
+    #: measurement was asked for it).
+    critical_path: Optional[dict] = field(repr=False, default=None)
 
     @property
     def label(self) -> str:
@@ -70,6 +74,7 @@ class BarrierMeasurement:
             "max_latency_us": self.max_latency_us,
             "per_barrier_us": list(self.per_barrier_us),
             "lanai_name": self.lanai_name,
+            "critical_path": self.critical_path,
         }
 
     @classmethod
@@ -120,9 +125,19 @@ def measure_barrier(
     skew_max_us: float = 0.0,
     group: Optional[Sequence[Endpoint]] = None,
     max_events: Optional[int] = 20_000_000,
+    critical_path: bool = False,
 ) -> BarrierMeasurement:
     """Measure the average latency of consecutive barriers on a fresh
-    cluster built from ``config``."""
+    cluster built from ``config``.
+
+    With ``critical_path`` (NIC barriers only), one additional traced
+    barrier runs on a fresh cluster at the same config and its
+    happens-before critical path is attached to the measurement as a
+    JSON-able summary (see :mod:`repro.analysis.critical_path`).  The
+    measurement itself is untouched: the extra run is a separate
+    simulation, so the reported latencies stay bit-identical to a
+    ``critical_path=False`` call.
+    """
     cluster = build_cluster(config)
     if group is None:
         group = default_group(cluster)
@@ -147,6 +162,18 @@ def measure_barrier(
         start = max(enter_times[rep])
         end = max(exit_times[rep])
         per_barrier.append(end - start)
+    cp_summary: Optional[dict] = None
+    if critical_path and nic_based:
+        from repro.analysis.critical_path import traced_barrier_run
+
+        _, path, _ = traced_barrier_run(
+            len(group),
+            algorithm=algorithm,
+            dimension=dimension,
+            config=config,
+            max_events=max_events,
+        )
+        cp_summary = path.summary()
     return BarrierMeasurement(
         num_nodes=len(group),
         algorithm=algorithm,
@@ -157,6 +184,7 @@ def measure_barrier(
         max_latency_us=max(per_barrier),
         per_barrier_us=per_barrier,
         lanai_name=config.lanai_model.name,
+        critical_path=cp_summary,
     )
 
 

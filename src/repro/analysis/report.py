@@ -276,9 +276,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--observe", type=int, metavar="N", default=None,
                         help="run one instrumented N-node dissemination "
                              "barrier and print the metrics table")
+    parser.add_argument("--critical-path", type=int, metavar="N",
+                        default=None,
+                        help="run one traced N-node barrier and print its "
+                             "critical path: per-hop attribution table and "
+                             "per-segment totals (docs/observability.md)")
+    parser.add_argument("--algo", choices=["pe", "dissemination", "gb"],
+                        default="pe",
+                        help="with --critical-path: barrier algorithm "
+                             "(default pe)")
     parser.add_argument("--trace-out", type=Path, default=None,
-                        help="with --observe: write the run as Chrome "
-                             "trace_event JSON to this file")
+                        help="with --observe or --critical-path: write the "
+                             "run as Chrome trace_event JSON to this file "
+                             "(with --critical-path the file includes flow "
+                             "arrows along the extracted chain)")
     parser.add_argument("--faults", type=int, metavar="SEED", default=None,
                         help="run the chaos soak (every barrier algorithm "
                              "under seeded fault injection) and print the "
@@ -303,6 +314,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.table())
         print(f"total injected={result.total_injected} "
               f"retransmits={result.total_retransmits}; all barriers safe")
+        return 0
+
+    if args.critical_path is not None:
+        from repro.analysis.critical_path import traced_barrier_run
+
+        cluster, path, end_to_end = traced_barrier_run(
+            args.critical_path, algorithm=args.algo
+        )
+        print(path.render_table())
+        print(f"end-to-end barrier latency: {end_to_end:.3f} us "
+              f"(path covers {path.total_us / end_to_end:.1%})")
+        if args.trace_out is not None:
+            cluster.tracer.write_chrome_trace(
+                args.trace_out, flow_steps=path.events
+            )
+            print(f"wrote {args.trace_out}", file=sys.stderr)
         return 0
 
     if args.observe is not None:

@@ -49,9 +49,15 @@ class CampaignJobError(RuntimeError):
     """
 
     def __init__(self, result: "JobResult") -> None:
+        flight = ""
+        if result.flight:
+            flight = (
+                f"\n(flight recorder: {len(result.flight)} records on "
+                f"JobResult.flight)"
+            )
         super().__init__(
             f"campaign job {result.spec.tag or result.key} failed: "
-            f"{result.error}\n{result.traceback or ''}"
+            f"{result.error}\n{result.traceback or ''}{flight}"
         )
         self.job = result
 
@@ -84,6 +90,7 @@ def _execute_job_payload(job: dict) -> dict:
                 warmup=params.get("warmup", 3),
                 skew_max_us=params.get("skew_max_us", 0.0),
                 max_events=params.get("max_events"),
+                critical_path=params.get("critical_path", False),
             )
             value = measurement.to_dict()
         elif kind == "soak":
@@ -118,6 +125,10 @@ def _execute_job_payload(job: dict) -> dict:
             "error": f"{type(exc).__name__}: {exc}",
             "error_type": type(exc).__name__,
             "traceback": traceback_module.format_exc(),
+            # The flight recorder's last-K-records snapshot, when the
+            # failure carried one (NIC alarms and Cluster.run attach it):
+            # plain dicts, so it survives pickling back from a worker.
+            "flight": getattr(exc, "flight_records", None),
             "elapsed_s": time.perf_counter() - start,
         }
 
@@ -137,6 +148,9 @@ class JobResult:
     error: Optional[str] = None
     error_type: Optional[str] = None
     traceback: Optional[str] = None
+    #: Flight-recorder snapshot a failed job shipped back (last K trace
+    #: records before the crash; see :mod:`repro.sim.tracing`).
+    flight: Optional[list] = None
     elapsed_s: float = 0.0
 
 
@@ -263,6 +277,7 @@ def run_campaign(
             error=payload.get("error"),
             error_type=payload.get("error_type"),
             traceback=payload.get("traceback"),
+            flight=payload.get("flight"),
             elapsed_s=payload.get("elapsed_s", 0.0),
         )
         results[index] = result

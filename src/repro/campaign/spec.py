@@ -40,6 +40,7 @@ MEASURE_KEYS = (
     "warmup",
     "skew_max_us",
     "max_events",
+    "critical_path",
 )
 
 #: Defaults matching :mod:`repro.analysis.experiments`.
@@ -118,6 +119,9 @@ class CampaignSpec:
     #: whose config does not already carry an explicit plan.
     fault_seed: Optional[int] = None
     max_events: Optional[int] = DEFAULT_MAX_EVENTS
+    #: Attach a critical-path summary to every measurement (one extra
+    #: traced barrier per job; see :mod:`repro.analysis.critical_path`).
+    critical_path: bool = False
 
     # -- config round-trip ------------------------------------------------
     def to_dict(self) -> dict:
@@ -170,6 +174,9 @@ class CampaignSpec:
                 "warmup": int(point.get("warmup", self.warmup)),
                 "skew_max_us": float(point.get("skew_max_us", self.skew_max_us)),
                 "max_events": point.get("max_events", self.max_events),
+                "critical_path": bool(
+                    point.get("critical_path", self.critical_path)
+                ),
             }
             config_dict = dict(self.base_config)
             config_dict.update(

@@ -125,6 +125,7 @@ def write_bench(path: os.PathLike | str, result) -> Path:
     if path.is_dir():
         path = path / BENCH_ARTIFACT
     jobs: List[dict] = []
+    critical_paths: List[dict] = []
     for jr in result.results:
         jobs.append(
             {
@@ -137,8 +138,21 @@ def write_bench(path: os.PathLike | str, result) -> Path:
                 "result": jr.value,
                 "error": jr.error,
                 "traceback": jr.traceback,
+                "flight": getattr(jr, "flight", None),
             }
         )
+        cp = (jr.value or {}).get("critical_path")
+        if cp:
+            # Compact per-job attribution summary next to the totals, so
+            # stragglers are greppable without digging into each job.
+            critical_paths.append(
+                {
+                    "tag": jr.spec.tag,
+                    "total_us": cp.get("total_us"),
+                    "by_segment": cp.get("by_segment"),
+                    "straggler_chain": cp.get("straggler_chain"),
+                }
+            )
     payload: Dict = {
         "campaign": result.name,
         "code_version": result.code_version,
@@ -152,6 +166,8 @@ def write_bench(path: os.PathLike | str, result) -> Path:
         "metrics": result.metrics.snapshot(),
         "jobs": jobs,
     }
+    if critical_paths:
+        payload["critical_paths"] = critical_paths
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(f".tmp.{os.getpid()}")
     with open(tmp, "w") as f:

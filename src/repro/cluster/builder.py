@@ -79,7 +79,9 @@ class Cluster:
         self.rng = SimRng(config.seed)
         self.tracer = Tracer(self.sim, enabled=config.trace)
         topology = config.make_topology()
-        self.network = Network(self.sim, topology, config.net_params)
+        self.network = Network(
+            self.sim, topology, config.net_params, tracer=self.tracer
+        )
         self.nodes: List[Node] = []
         for node_id in range(config.num_nodes):
             nic = Nic(
@@ -114,8 +116,23 @@ class Cluster:
         return Process(self.sim, generator, name=name)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Run the simulation (see :meth:`repro.sim.engine.Simulator.run`)."""
-        return self.sim.run(until=until, max_events=max_events)
+        """Run the simulation (see :meth:`repro.sim.engine.Simulator.run`).
+
+        Any exception escaping the event loop gets the flight recorder's
+        snapshot attached as ``exc.flight_records`` (unless something
+        closer to the failure, like the NIC alarm path, already did), so
+        whoever catches it -- a campaign worker, a test, a CLI -- holds
+        the black box of the simulation's final moments.
+        """
+        try:
+            return self.sim.run(until=until, max_events=max_events)
+        except Exception as exc:
+            if getattr(exc, "flight_records", None) is None:
+                try:
+                    exc.flight_records = self.tracer.flight.snapshot()
+                except AttributeError:  # exception type forbids attrs
+                    pass
+            raise
 
     def shutdown(self) -> None:
         """Kill the firmware processes so the event heap can drain."""

@@ -123,12 +123,21 @@ class NicBarrierEngine:
         port.barrier_send_token = token
         self._remember(port_id, token)
         self.barriers_initiated += 1
-        self.trace("initiate", port=port_id, alg=token.algorithm, seq=token.barrier_seq)
+        self.trace(
+            "initiate", port=port_id, alg=token.algorithm,
+            seq=token.barrier_seq, ctx=token.ctx,
+        )
         # Phase-span begin records ("<alg>.begin"/"<alg>.end" pairs are
         # auto-discovered by Tracer.to_chrome_trace).
-        self.trace(f"{token.algorithm}.begin", port=port_id, key=token.barrier_seq)
+        self.trace(
+            f"{token.algorithm}.begin", port=port_id, key=token.barrier_seq,
+            ctx=token.ctx,
+        )
         if token.algorithm == "gb":
-            self.trace("gb.gather.begin", port=port_id, key=token.barrier_seq)
+            self.trace(
+                "gb.gather.begin", port=port_id, key=token.barrier_seq,
+                ctx=token.ctx,
+            )
 
         if token.algorithm == "pe":
             yield from self._pe_loop(port, token)
@@ -154,9 +163,14 @@ class NicBarrierEngine:
         elif kind == "barrier_bcast":
             yield from self._bcast_step(item[1], item[2])
         elif kind == "barrier_resend":
-            yield from self._resend(item[1], item[2], item[3], item[4])
+            yield from self._resend(
+                item[1], item[2], item[3], item[4],
+                item[5] if len(item) > 5 else None,
+            )
         elif kind == "barrier_reject":
-            yield from self._send_reject(item[1], item[2])
+            yield from self._send_reject(
+                item[1], item[2], item[3] if len(item) > 3 else None
+            )
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"barrier engine: unknown SDMA work {item!r}")
 
@@ -185,8 +199,15 @@ class NicBarrierEngine:
             # on_barrier_packet for the atomicity discipline).
             yield from self.cpu("barrier_check")
             conn = nic.connection(step.peer[0])
-            if conn.unexpected.check_clear(step.peer[1]):
+            recorded = conn.unexpected.check_clear(step.peer[1])
+            if recorded:
+                if recorded is not True:
+                    token.cause_ctx = recorded
                 token.node_index += 1
+                self.trace(
+                    "advance", port=port.port_id, src=step.peer,
+                    seq=token.barrier_seq, ctx=token.cause_ctx or token.ctx,
+                )
                 yield from self.cpu("barrier_advance")
                 continue
             token.awaiting_recv = True
@@ -205,11 +226,17 @@ class NicBarrierEngine:
             yield from self.cpu("gb_gather_check")
             if token.phase != "gather" or not self._token_live(port, token):
                 return  # the RDMA side finished the gather phase for us
-            if nic.connection(child[0]).unexpected.check_clear(child[1]):
+            recorded = nic.connection(child[0]).unexpected.check_clear(child[1])
+            if recorded:
+                if recorded is not True:
+                    token.cause_ctx = recorded
                 token.gather_pending.discard(child)
         if token.phase == "gather" and not token.gather_pending:
             token.phase = "gathers_done"
-            self.trace("gb.gather.end", port=port.port_id, key=token.barrier_seq)
+            self.trace(
+                "gb.gather.end", port=port.port_id, key=token.barrier_seq,
+                ctx=token.cause_ctx or token.ctx,
+            )
             yield from self._gb_all_gathers_in(port, token)
 
     def _gb_all_gathers_in(self, port: NicPort, token: BarrierSendToken):
@@ -244,7 +271,10 @@ class NicBarrierEngine:
             nic.sdma_inbox.put(("barrier_bcast", port_id, token))
         else:
             token.phase = "done"
-            self.trace("gb.bcast.end", port=port_id, key=token.barrier_seq)
+            self.trace(
+                "gb.bcast.end", port=port_id, key=token.barrier_seq,
+                ctx=token.cause_ctx or token.ctx,
+            )
 
     # ------------------------------------------------------------------
     # RDMA-side entry points
@@ -276,7 +306,11 @@ class NicBarrierEngine:
             # port; they are rejected (and thus resent) when it opens.
             if port is not None:
                 port.closed_barrier_record.add(src)
-            self.trace("closed_port_record", src=src, port=packet.dst_port)
+                port.closed_barrier_ctx[src] = packet.ctx
+            self.trace(
+                "closed_port_record", src=src, port=packet.dst_port,
+                ctx=packet.ctx,
+            )
             yield from self.cpu("barrier_record")
             return
 
@@ -290,7 +324,12 @@ class NicBarrierEngine:
         ):
             token.awaiting_recv = False
             token.node_index += 1
+            token.cause_ctx = packet.ctx or token.cause_ctx
             completed = token.node_index >= len(token.steps)
+            self.trace(
+                "advance", port=port.port_id, src=src,
+                seq=token.barrier_seq, ctx=token.cause_ctx or token.ctx,
+            )
             # ---- end of atomic block ----
             yield from self.cpu("barrier_advance")
             if completed:
@@ -306,13 +345,20 @@ class NicBarrierEngine:
                 and src in token.gather_pending
             ):
                 token.gather_pending.discard(src)
+                token.cause_ctx = packet.ctx or token.cause_ctx
                 all_in = not token.gather_pending
+                self.trace(
+                    "advance", port=port.port_id, src=src,
+                    seq=token.barrier_seq, ctx=token.cause_ctx or token.ctx,
+                )
                 if all_in:
                     # Claim the transition atomically (the SDMA-side
                     # initiate scan also checks the phase).
                     token.phase = "gathers_done"
                     self.trace(
-                        "gb.gather.end", port=port.port_id, key=token.barrier_seq
+                        "gb.gather.end", port=port.port_id,
+                        key=token.barrier_seq,
+                        ctx=token.cause_ctx or token.ctx,
                     )
                 # ---- end of atomic block ----
                 yield from self.cpu("gb_gather_check")
@@ -325,6 +371,11 @@ class NicBarrierEngine:
                 and src == token.parent
             ):
                 token.phase = "bcast"
+                token.cause_ctx = packet.ctx or token.cause_ctx
+                self.trace(
+                    "advance", port=port.port_id, src=src,
+                    seq=token.barrier_seq, ctx=token.cause_ctx or token.ctx,
+                )
                 # ---- end of atomic block ----
                 yield from self.complete(port.port_id, token)
                 return
@@ -332,10 +383,10 @@ class NicBarrierEngine:
         # "In all other cases, the reception of the message is simply
         # recorded."  The bit is set atomically at the decision instant.
         nic.connection(packet.src_node).unexpected.set(
-            packet.src_port, dst_port=packet.dst_port
+            packet.src_port, dst_port=packet.dst_port, ctx=packet.ctx
         )
         self.unexpected_recorded += 1
-        self.trace("recorded", src=src, port=packet.dst_port)
+        self.trace("recorded", src=src, port=packet.dst_port, ctx=packet.ctx)
         yield from self.cpu("barrier_record")
 
     def complete(self, port_id: int, token: BarrierSendToken):
@@ -364,22 +415,30 @@ class NicBarrierEngine:
         port.barrier_send_token = None
         port.barriers_completed += 1
         port.return_send_token()
+        ctx = token.cause_ctx or token.ctx
         nic.post_host_event(
             port,
             BarrierCompletedEvent(
                 port_id=port_id,
                 barrier_seq=token.barrier_seq,
                 nic_complete_time=nic_complete_time,
+                ctx=ctx,
             ),
         )
-        self.trace(f"{token.algorithm}.end", port=port_id, key=token.barrier_seq)
-        self.trace("complete", port=port_id, seq=token.barrier_seq)
+        self.trace(
+            f"{token.algorithm}.end", port=port_id, key=token.barrier_seq,
+            ctx=ctx,
+        )
+        self.trace("complete", port=port_id, seq=token.barrier_seq, ctx=ctx)
         if token.queued_at is not None:
             self._latency_hist.observe(nic_complete_time - token.queued_at)
         if token.algorithm == "gb":
             if token.phase == "bcast" and token.children:
                 token.bcast_index = 0
-                self.trace("gb.bcast.begin", port=port_id, key=token.barrier_seq)
+                self.trace(
+                    "gb.bcast.begin", port=port_id, key=token.barrier_seq,
+                    ctx=ctx,
+                )
                 nic.sdma_inbox.put(("barrier_bcast", port_id, token))
             else:
                 token.phase = "done"
@@ -393,11 +452,22 @@ class NicBarrierEngine:
         endpoint: Endpoint,
         ptype: PacketType,
         is_resend: bool = False,
+        cause_ctx=None,
     ):
-        """Prepare and queue one barrier packet (SDMA context)."""
+        """Prepare and queue one barrier packet (SDMA context).
+
+        The outgoing packet's trace context is a child span of whatever
+        *caused* this send: an explicit ``cause_ctx`` (REJECT recovery),
+        else the incoming packet that advanced the token, else the
+        host-stamped root -- so the span tree threads through the NIC
+        hop-by-hop exactly like the barrier's happens-before chain.
+        """
         nic = self.nic
         dst_node, dst_port = endpoint
         yield from self.cpu("barrier_packet_prep")
+
+        base = cause_ctx or token.cause_ctx or token.ctx
+        pctx = base.child() if base is not None else None
 
         # Section 3.4 optimization: two ports of the same NIC synchronize
         # by setting the local flag, no wire message.
@@ -410,10 +480,11 @@ class NicBarrierEngine:
                 seqno=token.barrier_seq,
                 payload_bytes=0,
                 payload={"barrier_seq": token.barrier_seq},
+                ctx=pctx,
             )
             token.sent_to.append((endpoint, ptype.value))
             nic.rdma_queue.put(("barrier_rx", packet))
-            self.trace("local_deliver", dst=endpoint)
+            self.trace("local_deliver", dst=endpoint, ctx=pctx)
             return
 
         conn = nic.connection(dst_node)
@@ -433,6 +504,7 @@ class NicBarrierEngine:
             seqno=seqno,
             payload_bytes=BARRIER_PAYLOAD_BYTES,
             payload={"barrier_seq": token.barrier_seq},
+            ctx=pctx,
         )
         token.sent_to.append((endpoint, ptype.value))
 
@@ -453,7 +525,7 @@ class NicBarrierEngine:
         if is_resend:
             self.resends += 1
         nic.send_queue.put((packet, False))
-        self.trace("send", dst=endpoint, type=ptype.value, seq=seqno)
+        self.trace("send", dst=endpoint, type=ptype.value, seq=seqno, ctx=pctx)
 
     # ------------------------------------------------------------------
     # Closed-port recovery (Section 3.2)
@@ -462,22 +534,28 @@ class NicBarrierEngine:
         """Reject barrier messages recorded while the port was closed."""
         port = self.nic.port(port_id)
         for src in sorted(port.closed_barrier_record):
-            self.nic.sdma_inbox.put(("barrier_reject", src, port_id))
+            self.nic.sdma_inbox.put(
+                ("barrier_reject", src, port_id,
+                 port.closed_barrier_ctx.get(src))
+            )
         port.closed_barrier_record.clear()
+        port.closed_barrier_ctx.clear()
 
-    def _send_reject(self, target: Endpoint, local_port: int):
+    def _send_reject(self, target: Endpoint, local_port: int, cause_ctx=None):
         """Build + queue a BARRIER_REJECT to a recorded sender (SDMA)."""
         yield from self.cpu("packet_prep")
+        pctx = cause_ctx.child() if cause_ctx is not None else None
         packet = self.nic.make_packet(
             PacketType.BARRIER_REJECT,
             dst_node=target[0],
             dst_port=target[1],
             src_port=local_port,
             payload={},
+            ctx=pctx,
         )
         self.rejects_sent += 1
         self.nic.send_queue.put((packet, False))
-        self.trace("reject", to=target, port=local_port)
+        self.trace("reject", to=target, port=local_port, ctx=pctx)
 
     def on_reject(self, packet: Packet):
         """A peer rejected our barrier message; resend if still relevant
@@ -528,6 +606,7 @@ class NicBarrierEngine:
                         token,
                         rejector,
                         PacketType(ptype_val),
+                        packet.ctx,
                     )
                 )
         yield from ()
@@ -538,9 +617,12 @@ class NicBarrierEngine:
         token: BarrierSendToken,
         endpoint: Endpoint,
         ptype: PacketType,
+        cause_ctx=None,
     ):
         """Retransmit one barrier message after a REJECT (SDMA context)."""
         port = self.nic.port(port_id)
         if not port.is_open or port.generation != token.owner_generation:
             return
-        yield from self._send_barrier_packet(token, endpoint, ptype, is_resend=True)
+        yield from self._send_barrier_packet(
+            token, endpoint, ptype, is_resend=True, cause_ctx=cause_ctx
+        )

@@ -19,6 +19,7 @@ is reproducible from just its seed (``report.py --faults SEED``).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.cluster.builder import ClusterConfig, build_cluster
@@ -141,8 +142,15 @@ def run_soak_combo(
     repetitions: int = 3,
     intensity: float = 1.0,
     max_events: int = 5_000_000,
+    flight_dump_dir: Optional[str] = ".",
 ) -> SoakRow:
-    """Run one algorithm/reliability combination under its seeded plan."""
+    """Run one algorithm/reliability combination under its seeded plan.
+
+    On failure the flight recorder is dumped as
+    ``flight-<label>-<reliability>-s<seed>.{jsonl,txt}`` under
+    ``flight_dump_dir`` (pass ``None`` to skip the files; the snapshot
+    still travels on the exception as ``exc.flight_records``).
+    """
     from repro.faults.plan import FaultPlan
     from repro.sim.primitives import Timeout
 
@@ -173,7 +181,31 @@ def run_soak_combo(
             yield from barrier_op(ctx.port, ctx.group, ctx.rank, algorithm=algorithm)
             exits[rep][ctx.rank] = ctx.now
 
-    run_on_group(cluster, program, max_events=max_events)
+    try:
+        run_on_group(cluster, program, max_events=max_events)
+    except Exception as exc:
+        # A soak combo that dies (RetransmitLimitExceeded, deadlock, ...)
+        # leaves its black box on disk before the failure propagates to
+        # the campaign layer; the snapshot also rides on the exception.
+        if getattr(exc, "flight_records", None) is None:
+            try:
+                exc.flight_records = cluster.tracer.flight.snapshot()
+            except AttributeError:
+                pass
+        records = getattr(exc, "flight_records", None)
+        if records and flight_dump_dir is not None:
+            from repro.sim.tracing import dump_flight_records
+
+            prefix = (
+                Path(flight_dump_dir)
+                / f"flight-{label}-{reliability.name.lower()}-s{seed}"
+            )
+            jsonl_path, _ = dump_flight_records(records, prefix)
+            try:
+                exc.flight_dump = str(jsonl_path)
+            except AttributeError:
+                pass
+        raise
 
     for rep in range(repetitions):
         latest_enter = max(enters[rep].values())

@@ -28,6 +28,7 @@ from repro.gm.tokens import (
     ReceiveToken,
     SendToken,
 )
+from repro.sim.tracing import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.topology_calc import BarrierPlan
@@ -52,6 +53,12 @@ class GmPort:
         self._barrier_pending = False
         #: Same guard for the data collectives of the Section 8 extension.
         self._collective_pending = False
+
+    def _trace(self, label: str, **payload) -> None:
+        """Host-side trace record (category ``host<node_id>``)."""
+        tracer = self.nic.tracer
+        if tracer is not None:
+            tracer.record(f"host{self.node.node_id}", label, **payload)
 
     # ------------------------------------------------------------------
     @property
@@ -87,6 +94,7 @@ class GmPort:
             size_bytes=size_bytes,
             payload=payload,
             callback=callback,
+            ctx=TraceContext.root(),
         )
         self.nic.post_token(self.port_id, token)
         self.port.messages_sent += 1
@@ -113,6 +121,7 @@ class GmPort:
             destinations=list(destinations),
             size_bytes=size_bytes,
             payload=payload,
+            ctx=TraceContext.root(),
         )
         self.nic.post_token(self.port_id, token)
         self.port.messages_sent += 1
@@ -156,6 +165,11 @@ class GmPort:
         yield from self.node.cpu_use(cost)
         if isinstance(event, BarrierCompletedEvent):
             self._barrier_pending = False
+            if event.ctx is not None:
+                self._trace(
+                    "barrier.exit", ctx=event.ctx, seq=event.barrier_seq,
+                    port=self.port_id,
+                )
         elif isinstance(event, CollectiveCompletedEvent):
             self._collective_pending = False
         if isinstance(event, SendToken) and event.callback:  # pragma: no cover
@@ -191,6 +205,11 @@ class GmPort:
             yield from self.node.cpu_use(params.effective_recv_cost_us)
         if isinstance(event, BarrierCompletedEvent):
             self._barrier_pending = False
+            if event.ctx is not None:
+                self._trace(
+                    "barrier.exit", ctx=event.ctx, seq=event.barrier_seq,
+                    port=self.port_id,
+                )
         elif isinstance(event, CollectiveCompletedEvent):
             self._collective_pending = False
         return event
@@ -230,8 +249,13 @@ class GmPort:
             parent=plan.parent,
             children=list(plan.children),
             barrier_seq=self.port.barrier_seq,
+            ctx=TraceContext.root(),
         )
         self._barrier_pending = True
+        self._trace(
+            "barrier.queue", ctx=token.ctx, seq=token.barrier_seq,
+            port=self.port_id, alg=token.algorithm,
+        )
         self.nic.post_token(self.port_id, token)
         return token
 
@@ -274,6 +298,7 @@ class GmPort:
             parent=plan.parent,
             children=list(plan.children),
             coll_seq=self.port.coll_seq,
+            ctx=TraceContext.root(),
         )
         self._collective_pending = True
         self.nic.post_token(self.port_id, token)

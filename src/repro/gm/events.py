@@ -55,6 +55,9 @@ class BarrierCompletedEvent(GmEvent):
     #: Simulated time the NIC decided the barrier was complete (before the
     #: completion-notification DMA); used for latency decomposition.
     nic_complete_time: Optional[float] = None
+    #: Causal trace context of the completion (the chain that finished
+    #: the barrier); lets the host's receive record extend the span tree.
+    ctx: Optional[Any] = None
 
 
 @dataclass

@@ -16,7 +16,7 @@ barrier messages arriving for a *closed* port are recorded, then rejected
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Dict, Optional, Set, Tuple
 
 from repro.gm.constants import DEFAULT_RECV_TOKENS, DEFAULT_SEND_TOKENS, EVENT_QUEUE_DEPTH
 from repro.gm.events import GmEvent
@@ -79,6 +79,10 @@ class NicPort:
         #: (src_node, src_port) of barrier messages that arrived while the
         #: port was closed; rejected (-> sender retransmits) on open.
         self.closed_barrier_record: Set[Tuple[int, int]] = set()
+        #: Trace context of each recorded closed-port arrival, so the
+        #: REJECT (and the resend it provokes) stays in the sender's span
+        #: tree.  Kept beside the record set, cleared with it.
+        self.closed_barrier_ctx: Dict[Tuple[int, int], Any] = {}
         #: Regions exposed for one-sided Get/Put, keyed by region id
         #: (the Section 8 Get/Put layer).
         self.exposed_regions: dict = {}

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.network.packet import PacketType
+    from repro.sim.tracing import TraceContext
 
 _token_ids = itertools.count(1)
 
@@ -56,6 +57,9 @@ class SendToken:
     #: Wire packet type: DATA for ordinary sends; the one-sided layer
     #: sends PUT / GET_REQ through the same reliable path.
     wire_type: Optional["PacketType"] = None
+    #: Root causal trace context, stamped by the GM API at queue time;
+    #: the packet this token produces becomes a child span of it.
+    ctx: Optional["TraceContext"] = None
 
     @property
     def is_barrier(self) -> bool:
@@ -93,6 +97,8 @@ class MulticastSendToken:
     queued_at: Optional[float] = None
     #: Acknowledgments still outstanding; set by SDMA at fan-out time.
     remaining_acks: int = 0
+    #: Root causal trace context; each replica packet is a child span.
+    ctx: Optional["TraceContext"] = None
 
     def __post_init__(self) -> None:
         if not self.destinations:
@@ -184,6 +190,13 @@ class BarrierSendToken:
     #: Endpoints we have transmitted a barrier packet to (with the packet
     #: type used), kept for closed-port REJECT retransmission.
     sent_to: List[Tuple[Endpoint, str]] = field(default_factory=list)
+    #: Root causal trace context, stamped by the GM API at queue time.
+    ctx: Optional["TraceContext"] = None
+    #: Context of the incoming barrier packet that most recently advanced
+    #: this token; the next outgoing packet becomes *its* child span, so
+    #: the critical chain threads through the NIC instead of restarting
+    #: at the local root every step.
+    cause_ctx: Optional["TraceContext"] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("pe", "gb"):
@@ -258,6 +271,8 @@ class CollectiveSendToken:
     coll_seq: int = 0
     owner_generation: int = 0
     token_id: int = field(default_factory=lambda: next(_token_ids))
+    #: Root causal trace context, stamped by the GM API at queue time.
+    ctx: Optional["TraceContext"] = None
     queued_at: Optional[float] = None
     sent_to: List[Tuple[Endpoint, str]] = field(default_factory=list)
 

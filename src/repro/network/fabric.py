@@ -48,11 +48,15 @@ class Network:
         sim: Simulator,
         topology: Topology,
         params: Optional[NetworkParams] = None,
+        tracer=None,
     ) -> None:
         topology.validate()
         self.sim = sim
         self.topology = topology
         self.params = params or NetworkParams()
+        #: Tracer handed to every channel and switch (``net`` category
+        #: records for ctx-carrying packets); None disables them.
+        self.tracer = tracer
         self._route_cache: Dict[Tuple[int, int], List[int]] = {}
         self._switches: Dict[int, CrossbarSwitch] = {}
         #: nic_id -> transmit channel (NIC -> its switch)
@@ -69,6 +73,7 @@ class Network:
                 routing_delay_us=self.params.routing_delay_us,
                 switch_id=spec.switch_id,
             )
+            switch.tracer = tracer
             self._switches[spec.switch_id] = switch
             metrics = sim.metrics
             metrics.observe(
@@ -98,6 +103,7 @@ class Network:
             self.params.propagation_us,
             name=name,
         )
+        ch.tracer = self.tracer
         metrics = self.sim.metrics
         metrics.observe(f"link.{name}.bytes", lambda c=ch: c.bytes_sent)
         metrics.observe(f"link.{name}.utilization", lambda c=ch: c.utilization())

@@ -78,6 +78,9 @@ class Channel:
         self.propagation_us = propagation_us
         self.name = name
         self.sink: Optional[PacketSink] = None
+        #: Optional tracer; set by the fabric so deliveries of
+        #: ctx-carrying packets leave a ``link.deliver`` record.
+        self.tracer = None
         self.loss_filter: Optional[Callable[[Packet], bool]] = None
         #: Fault-injection hook: ``fn(packet) -> None | "drop" | "corrupt"``.
         self.fault_filter: Optional[Callable[[Packet], Optional[str]]] = None
@@ -191,6 +194,11 @@ class Channel:
 
     def _deliver(self, packet: Packet) -> None:
         assert self.sink is not None
+        if self.tracer is not None and packet.ctx is not None:
+            self.tracer.record(
+                "net", "link.deliver", key=packet.packet_id,
+                channel=self.name, ctx=packet.ctx,
+            )
         self.sink.receive_packet(packet)
 
     def _tx_done(self) -> None:

@@ -11,7 +11,10 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.tracing import TraceContext
 
 
 class PacketType(enum.Enum):
@@ -133,6 +136,9 @@ class Packet:
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     #: Stamp set by the injecting NIC; used by traces and latency tests.
     injected_at: Optional[float] = None
+    #: Causal trace context (Dapper-style), stamped by the sender and
+    #: advanced per switch hop / retransmission.  Never affects timing.
+    ctx: Optional["TraceContext"] = None
 
     @property
     def size_bytes(self) -> int:

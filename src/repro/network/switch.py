@@ -61,6 +61,9 @@ class CrossbarSwitch:
         self.name = name or f"switch{switch_id}"
         self._outputs: Dict[int, Channel] = {}
         self._inputs: Dict[int, _SwitchInput] = {}
+        #: Optional tracer; set by the fabric so routed ctx-carrying
+        #: packets leave a ``switch.route`` record.
+        self.tracer = None
         #: Counters for tests.
         self.packets_routed = 0
         self.packets_dead_ended = 0
@@ -90,6 +93,10 @@ class CrossbarSwitch:
     # ------------------------------------------------------------------
     def _route(self, packet: Packet, in_port: int) -> None:
         out_port = packet.hop()
+        if packet.ctx is not None:
+            # Advance the hop counter (same span ids: a hop is not a new
+            # causal edge, just progress along the wire).
+            packet.ctx = packet.ctx.next_hop()
         channel = self._outputs.get(out_port)
         if channel is None:
             # A packet routed to an uncabled port is silently dropped by
@@ -97,6 +104,12 @@ class CrossbarSwitch:
             self.packets_dead_ended += 1
             return
         self.packets_routed += 1
+        if self.tracer is not None and packet.ctx is not None:
+            self.tracer.record(
+                "net", "switch.route", key=packet.packet_id,
+                switch=self.name, in_port=in_port, out_port=out_port,
+                ctx=packet.ctx,
+            )
         if channel.queue_depth > 0:
             self.output_stalls[out_port] = self.output_stalls.get(out_port, 0) + 1
         self.sim.schedule(self.routing_delay_us, channel.send, packet)

@@ -41,6 +41,9 @@ class DmaEngine:
         self.pci_bandwidth_mbps = pci_bandwidth_mbps
         self.pci_setup_us = pci_setup_us
         self.name = name
+        #: Optional tracer (set by the owning NIC); transfers carrying a
+        #: trace context leave a ``{sdma,rdma}.dma`` record on completion.
+        self.tracer = None
         self.transfers = 0
         self.bytes_moved = 0
         metrics = sim.metrics
@@ -57,10 +60,13 @@ class DmaEngine:
         """Bus-occupancy time for a transfer of ``size_bytes``."""
         return self.pci_setup_us + size_bytes / self.pci_bandwidth_mbps
 
-    def transfer(self, size_bytes: int):
+    def transfer(self, size_bytes: int, ctx=None):
         """Generator: perform one DMA, holding the PCI bus for its duration.
 
         Usage from a state machine: ``yield from engine.transfer(n)``.
+        ``ctx`` is an optional :class:`~repro.sim.tracing.TraceContext`
+        attributing the transfer to a traced message; it changes nothing
+        about the transfer itself.
         """
         if size_bytes < 0:
             raise ValueError("negative DMA size")
@@ -75,3 +81,11 @@ class DmaEngine:
         finally:
             self._busy.end()
             self.pci_bus.release()
+        if ctx is not None and self.tracer is not None:
+            # Name "nic3.rdma" -> category "nic3", label "rdma.dma".
+            category, _, engine = self.name.rpartition(".")
+            self.tracer.record(
+                category or "dma", f"{engine or 'dma'}.dma",
+                size=size_bytes, wait_us=self.sim.now - requested_at,
+                ctx=ctx,
+            )

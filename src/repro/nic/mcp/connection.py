@@ -40,9 +40,13 @@ class UnexpectedRecord:
     each recorded message was destined for (``dst_ports``), so the close
     path can purge records belonging to a dying endpoint -- without this
     a reused port could match a stale record left by its previous owner.
+    For causal tracing we also stash the recorded packet's trace context
+    (``ctxs``); ``check_clear`` hands it back (any stored context is
+    truthy, plain ``True`` otherwise) so the consumer can continue the
+    recorded message's span tree instead of starting a fresh one.
     """
 
-    __slots__ = ("bits", "num_ports", "dst_ports")
+    __slots__ = ("bits", "num_ports", "dst_ports", "ctxs")
 
     def __init__(self, num_ports: int = MAX_PORTS) -> None:
         if not 1 <= num_ports <= 64:
@@ -51,13 +55,20 @@ class UnexpectedRecord:
         self.bits = 0
         #: src_port -> local dst_port the recorded message targeted.
         self.dst_ports: Dict[int, int] = {}
+        #: src_port -> trace context of the recorded message, if any.
+        self.ctxs: Dict[int, Any] = {}
 
     def _mask(self, src_port: int) -> int:
         if not 0 <= src_port < self.num_ports:
             raise ValueError(f"source port {src_port} out of range")
         return 1 << src_port
 
-    def set(self, src_port: int, dst_port: Optional[int] = None) -> None:
+    def set(
+        self,
+        src_port: int,
+        dst_port: Optional[int] = None,
+        ctx: Any = None,
+    ) -> None:
         """Record an unexpected message from ``src_port`` (destined to
         local ``dst_port``, when known)."""
         self.bits |= self._mask(src_port)
@@ -65,18 +76,27 @@ class UnexpectedRecord:
             self.dst_ports[src_port] = dst_port
         else:
             self.dst_ports.pop(src_port, None)
+        if ctx is not None:
+            self.ctxs[src_port] = ctx
+        else:
+            self.ctxs.pop(src_port, None)
 
     def is_set(self, src_port: int) -> bool:
         """Non-destructive test of a bit (tests/debugging)."""
         return bool(self.bits & self._mask(src_port))
 
-    def check_clear(self, src_port: int) -> bool:
-        """Test the bit and clear it if set (the paper's check primitive)."""
+    def check_clear(self, src_port: int):
+        """Test the bit and clear it if set (the paper's check primitive).
+
+        Returns a truthy value when the bit was set -- the recorded trace
+        context when one was stored, ``True`` otherwise -- and ``False``
+        when it was not.
+        """
         mask = self._mask(src_port)
         if self.bits & mask:
             self.bits &= ~mask
             self.dst_ports.pop(src_port, None)
-            return True
+            return self.ctxs.pop(src_port, None) or True
         return False
 
     def clear_for_dst_port(self, dst_port: int) -> int:
@@ -86,12 +106,14 @@ class UnexpectedRecord:
         for src_port in stale:
             self.bits &= ~self._mask(src_port)
             del self.dst_ports[src_port]
+            self.ctxs.pop(src_port, None)
         return len(stale)
 
     def clear_all(self) -> None:
         """Reset the record (port-reuse tests)."""
         self.bits = 0
         self.dst_ports.clear()
+        self.ctxs.clear()
 
 
 @dataclass

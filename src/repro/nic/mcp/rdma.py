@@ -67,10 +67,10 @@ class RdmaMachine(StateMachine):
         """DMA an accepted message into its host buffer + post the event."""
         nic = self.nic
         yield from self.cpu("rdma_process")
-        yield from nic.rdma_engine.transfer(packet.payload_bytes)
+        yield from nic.rdma_engine.transfer(packet.payload_bytes, ctx=packet.ctx)
         nic.rx_buffers.release()
         yield from self.cpu("post_event")
-        yield from nic.rdma_engine.transfer(EVENT_DMA_BYTES)
+        yield from nic.rdma_engine.transfer(EVENT_DMA_BYTES, ctx=packet.ctx)
         port = nic.ports.get(packet.dst_port)
         if port is not None and port.is_open:
             nic.post_host_event(
@@ -83,7 +83,7 @@ class RdmaMachine(StateMachine):
                     payload=packet.payload.get("body"),
                 ),
             )
-        self.trace("delivered", key=packet.packet_id)
+        self.trace("delivered", key=packet.packet_id, ctx=packet.ctx)
 
     # ------------------------------------------------------------------
     # One-sided Get/Put (the Section 8 layer): the RDMA machine is the

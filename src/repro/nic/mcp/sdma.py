@@ -77,7 +77,7 @@ class SdmaMachine(StateMachine):
         # Stage the payload into a transmit buffer (blocks if pool empty).
         yield nic.tx_buffers.acquire()
         yield from self.cpu("dma_setup")
-        yield from nic.sdma_engine.transfer(token.size_bytes)
+        yield from nic.sdma_engine.transfer(token.size_bytes, ctx=token.ctx)
         yield from self.cpu("packet_prep")
 
         wire_type = token.wire_type or PacketType.DATA
@@ -95,11 +95,13 @@ class SdmaMachine(StateMachine):
                 if wire_type is not PacketType.DATA
                 else {"body": token.payload}
             ),
+            ctx=token.ctx.child() if token.ctx is not None else None,
         )
         yield from self.cpu("send_queue_manage")
         conn.record_sent(SentEntry(seqno=token.seqno, packet=packet, token=token))
         nic.ensure_retransmit_timer(conn)
-        self.trace("prepared", key=packet.packet_id, dst=token.dst_node, seq=token.seqno)
+        self.trace("prepared", key=packet.packet_id, dst=token.dst_node,
+                   seq=token.seqno, ctx=packet.ctx)
         nic.send_queue.put((packet, True))  # True: uses a tx buffer
 
     def _process_multicast_token(self, port_id: int, token):
@@ -110,7 +112,7 @@ class SdmaMachine(StateMachine):
         # Stage the payload once.
         yield nic.tx_buffers.acquire()
         yield from self.cpu("dma_setup")
-        yield from nic.sdma_engine.transfer(token.size_bytes)
+        yield from nic.sdma_engine.transfer(token.size_bytes, ctx=token.ctx)
         token.remaining_acks = len(token.destinations)
         last_index = len(token.destinations) - 1
         for i, (dst_node, dst_port) in enumerate(token.destinations):
@@ -125,6 +127,7 @@ class SdmaMachine(StateMachine):
                 seqno=seqno,
                 payload_bytes=token.size_bytes,
                 payload={"body": token.payload},
+                ctx=token.ctx.child() if token.ctx is not None else None,
             )
             yield from self.cpu("send_queue_manage")
             conn.record_sent(SentEntry(seqno=seqno, packet=packet, token=token))
@@ -144,10 +147,13 @@ class SdmaMachine(StateMachine):
         yield from self.cpu("token_process")
         yield nic.tx_buffers.acquire()
         yield from self.cpu("dma_setup")
-        yield from nic.sdma_engine.transfer(entry.packet.payload_bytes)
+        yield from nic.sdma_engine.transfer(
+            entry.packet.payload_bytes, ctx=entry.packet.ctx
+        )
         yield from self.cpu("packet_prep")
         entry.retransmits += 1
         conn.packets_retransmitted += 1
         packet = nic.clone_packet(entry.packet)
-        self.trace("retransmit", key=packet.packet_id, dst=remote_node, seq=entry.seqno)
+        self.trace("retransmit", key=packet.packet_id, dst=remote_node,
+                   seq=entry.seqno, ctx=packet.ctx)
         nic.send_queue.put((packet, True))

@@ -27,7 +27,7 @@ from repro.nic.mcp.sdma import SdmaMachine
 from repro.nic.mcp.send import SendMachine
 from repro.sim.engine import Simulator
 from repro.sim.primitives import Resource, Store
-from repro.sim.tracing import Tracer
+from repro.sim.tracing import TraceContext, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.nic_barrier import NicBarrierEngine
@@ -123,6 +123,8 @@ class Nic:
             sim, self.pci_bus, self.params.pci_bandwidth_mbps,
             self.params.pci_setup_us, name=f"nic{node_id}.rdma",
         )
+        self.sdma_engine.tracer = tracer
+        self.rdma_engine.tracer = tracer
         self.tx_buffers = BufferPool(
             sim, self.params.tx_buffers, self.params.buffer_bytes,
             name=f"nic{node_id}.tx",
@@ -286,6 +288,7 @@ class Nic:
         seqno: int = 0,
         payload_bytes: int = 0,
         payload: Optional[dict] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> Packet:
         """Build a packet with its source route stamped."""
         return Packet(
@@ -298,10 +301,16 @@ class Nic:
             payload_bytes=payload_bytes,
             payload=payload or {},
             route=self.network.route_for(self.node_id, dst_node),
+            ctx=ctx,
         )
 
     def clone_packet(self, packet: Packet) -> Packet:
-        """Fresh copy for retransmission (routes are consumed in flight)."""
+        """Fresh copy for retransmission (routes are consumed in flight).
+
+        The clone keeps the original's trace id but bumps the attempt
+        counter and resets the hop count, so a retransmitted packet stays
+        inside the same span tree while remaining distinguishable.
+        """
         return Packet(
             ptype=packet.ptype,
             src_node=packet.src_node,
@@ -312,6 +321,7 @@ class Nic:
             payload_bytes=packet.payload_bytes,
             payload=dict(packet.payload),
             route=self.network.route_for(self.node_id, packet.dst_node),
+            ctx=packet.ctx.retry() if packet.ctx is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -392,7 +402,13 @@ class Nic:
                 f"nic{self.node_id}", "reliability.alarm",
                 stream=stream, peer=conn.remote_node,
                 retransmits=entry.retransmits,
+                ctx=getattr(entry.packet, "ctx", None),
             )
+            # Black box: attach the flight-recorder ring so whoever
+            # catches the alarm (soak harness, campaign executor) can
+            # ship the last-K-records dump back as data.
+            if self.tracer.flight is not None:
+                alarm.flight_records = self.tracer.flight.snapshot()
         raise alarm
 
     def _on_retransmit_timeout(self, conn: Connection) -> None:

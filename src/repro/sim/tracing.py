@@ -1,24 +1,157 @@
 """Structured tracing of simulation activity.
 
 The tracer collects ``TraceEvent`` records (timestamp, category, label,
-payload).  It powers two things:
+payload).  It powers three things:
 
 * the per-phase latency decomposition used to validate the Figure 2 timing
   model (``Send``, ``SDMA``, ``Xmit``, ``Network``, ``Recv``, ``RDMA``,
-  ``HRecv`` segments), and
-* debugging: a human-readable timeline of host/NIC/network events.
+  ``HRecv`` segments),
+* **causal tracing**: records may carry a :class:`TraceContext` so one
+  message's life -- host queue, SDMA prepare, wire, every switch hop,
+  RDMA, host receive -- forms one linked span tree that
+  :mod:`repro.analysis.critical_path` can walk, and
+* debugging: a human-readable timeline of host/NIC/network events, plus
+  an always-on :class:`FlightRecorder` ring holding the last K records
+  even when full tracing is off.
 
-Tracing is off by default and costs one predicate call per record when off.
+Tracing is off by default and costs one ring append plus one predicate
+call per record when off.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.engine import Simulator
+
+# ----------------------------------------------------------------------
+# Causal trace contexts (Dapper-style span propagation)
+# ----------------------------------------------------------------------
+_trace_ids = itertools.count(1)
+_span_ids = itertools.count(1)
+
+
+class TraceContext:
+    """Causal identity carried on packets and send descriptors.
+
+    ``trace_id`` names the tree (one per root operation, e.g. one rank's
+    barrier initiation); ``span_id`` names this hop of work within it and
+    ``parent_span_id`` links to the span that caused it.  ``hop`` counts
+    switch traversals of the current wire crossing; ``attempt`` counts
+    retransmissions of the same logical message.
+
+    Contexts are immutable: propagation derives new ones with
+    :meth:`child` (a caused follow-on span), :meth:`next_hop` (same span,
+    one switch further) and :meth:`retry` (same span, retransmitted).
+    Ids are allocated from process-global counters regardless of whether
+    a tracer is enabled, and allocating them never touches the simulator
+    -- so tracing on/off cannot perturb event order or timing.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_span_id", "hop", "attempt")
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_span_id: Optional[int] = None,
+        hop: int = 0,
+        attempt: int = 0,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_span_id = parent_span_id
+        self.hop = hop
+        self.attempt = attempt
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        """A fresh trace tree (a host-initiated operation)."""
+        return cls(next(_trace_ids), next(_span_ids))
+
+    def child(self) -> "TraceContext":
+        """A new span caused by this one (e.g. the packet a token sends)."""
+        return TraceContext(self.trace_id, next(_span_ids), self.span_id)
+
+    def next_hop(self) -> "TraceContext":
+        """The same span one switch hop further along the wire."""
+        return TraceContext(
+            self.trace_id, self.span_id, self.parent_span_id,
+            self.hop + 1, self.attempt,
+        )
+
+    def retry(self) -> "TraceContext":
+        """The same span retransmitted: attempt bumped, hops restarted."""
+        return TraceContext(
+            self.trace_id, self.span_id, self.parent_span_id,
+            0, self.attempt + 1,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (the ``ctx`` schema of exported records)."""
+        out: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+        }
+        if self.hop:
+            out["hop"] = self.hop
+        if self.attempt:
+            out["attempt"] = self.attempt
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+            and self.parent_span_id == other.parent_span_id
+            and self.hop == other.hop
+            and self.attempt == other.attempt
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id, self.hop, self.attempt))
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.hop:
+            extra += f" hop={self.hop}"
+        if self.attempt:
+            extra += f" attempt={self.attempt}"
+        return (
+            f"ctx({self.trace_id}:{self.span_id}"
+            f"<-{self.parent_span_id}{extra})"
+        )
+
+
+def _json_value(value: Any) -> Any:
+    """A JSON-native rendering of one payload value.
+
+    Scalars pass through untouched (so Perfetto sees real numbers, not
+    strings), trace contexts expand to their dict schema, and anything
+    else falls back to ``str`` -- the same discipline ``to_jsonl`` gets
+    from ``default=str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, TraceContext):
+        return value.to_dict()
+    return str(value)
+
+
+def _atomic_write_text(path: Path, text: str) -> Path:
+    """Write ``text`` via tmp-file + ``os.replace`` (never truncated)."""
+    tmp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
 
 
 @dataclass(frozen=True)
@@ -35,6 +168,137 @@ class TraceEvent:
         return f"[{self.time:10.3f}us] {self.category:<10} {self.label} {extra}".rstrip()
 
 
+def _format_record(time: float, category: str, label: str, payload: dict) -> str:
+    extra = " ".join(f"{k}={v}" for k, v in payload.items())
+    return f"[{time:10.3f}us] {category:<10} {label} {extra}".rstrip()
+
+
+#: Default flight-recorder depth (records, not bytes).
+FLIGHT_RECORDER_SIZE = 256
+
+
+class FlightRecorder:
+    """Always-on ring of the last K trace records (the black box).
+
+    Every :meth:`Tracer.record` call lands here *before* the
+    enabled-check, so a simulation that dies -- a
+    ``RetransmitLimitExceeded`` alarm, an unhandled exception in a
+    campaign job -- can ship its final moments back as data even when
+    full tracing was off.  The ring stores plain ``(time, category,
+    label, payload)`` tuples; nothing is formatted until a dump is
+    actually requested.
+    """
+
+    def __init__(self, capacity: int = FLIGHT_RECORDER_SIZE) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self._ring: deque = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained records."""
+        return self._ring.maxlen  # type: ignore[return-value]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def append(
+        self,
+        time: float,
+        category: str,
+        label: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Retain one record, dropping the oldest at capacity.
+
+        (:meth:`Tracer.record` writes to the ring directly -- it is the
+        simulator's hot path -- but external feeders go through here.)
+        """
+        self._ring.append((time, category, label, payload or {}))
+
+    def clear(self) -> None:
+        """Drop the retained records."""
+        self._ring.clear()
+
+    def snapshot(self) -> List[dict]:
+        """The retained records as JSON-able dicts (oldest first).
+
+        This is the form that crosses process boundaries: a failed
+        campaign job attaches it to its result record.
+        """
+        return [
+            {
+                "time": t,
+                "category": category,
+                "label": label,
+                "payload": {k: _json_value(v) for k, v in payload.items()},
+            }
+            for t, category, label, payload in self._ring
+        ]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per retained record, newline-separated."""
+        return "\n".join(
+            json.dumps(row, default=str, sort_keys=True)
+            for row in self.snapshot()
+        )
+
+    def dump_text(self) -> str:
+        """Human-readable timeline of the retained records."""
+        return "\n".join(
+            _format_record(t, category, label, payload)
+            for t, category, label, payload in self._ring
+        )
+
+    def dump(self, path_prefix: Union[str, Path]) -> Tuple[Path, Path]:
+        """Write ``<prefix>.jsonl`` + ``<prefix>.txt`` (atomically)."""
+        return dump_flight_records(
+            self.snapshot(), path_prefix, text=self.dump_text()
+        )
+
+
+def dump_flight_records(
+    records: Sequence[dict],
+    path_prefix: Union[str, Path],
+    text: Optional[str] = None,
+) -> Tuple[Path, Path]:
+    """Write a flight-record snapshot as JSONL + human timeline.
+
+    Works on live :class:`FlightRecorder` snapshots and on the plain
+    lists a failed campaign job ships back in its result record.
+    Returns the ``(jsonl_path, text_path)`` pair.
+    """
+    prefix = Path(path_prefix)
+    jsonl = "\n".join(
+        json.dumps(row, default=str, sort_keys=True) for row in records
+    )
+    if text is None:
+        text = "\n".join(
+            _format_record(
+                row.get("time", 0.0),
+                row.get("category", "?"),
+                row.get("label", "?"),
+                row.get("payload", {}),
+            )
+            for row in records
+        )
+    jsonl_path = _atomic_write_text(
+        prefix.with_suffix(".jsonl"), jsonl + "\n" if jsonl else ""
+    )
+    text_path = _atomic_write_text(
+        prefix.with_suffix(".txt"), text + "\n" if text else ""
+    )
+    return jsonl_path, text_path
+
+
+class SpanList(list):
+    """The :meth:`Tracer.spans` result: a plain span list that also
+    carries the unmatched-record counts for that pairing."""
+
+    unmatched_starts: int = 0
+    unmatched_ends: int = 0
+
+
 class Tracer:
     """Collects trace events for one simulation.
 
@@ -43,9 +307,12 @@ class Tracer:
     sim:
         Simulator whose clock stamps the records.
     enabled:
-        If False, :meth:`record` is a no-op (cheap).
+        If False, :meth:`record` only feeds the flight ring (cheap).
     categories:
         If given, only these categories are recorded.
+    flight_size:
+        Depth of the always-on :class:`FlightRecorder` ring; 0 disables
+        it entirely (benchmark baselines).
     """
 
     def __init__(
@@ -53,6 +320,7 @@ class Tracer:
         sim: Simulator,
         enabled: bool = False,
         categories: Optional[Iterable[str]] = None,
+        flight_size: int = FLIGHT_RECORDER_SIZE,
     ) -> None:
         self.sim = sim
         self.enabled = enabled
@@ -60,9 +328,33 @@ class Tracer:
         self.events: List[TraceEvent] = []
         #: Optional live sink, e.g. ``print``, for interactive debugging.
         self.sink: Optional[Callable[[TraceEvent], None]] = None
+        #: The always-on black box (None when flight_size == 0).
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder(flight_size) if flight_size else None
+        )
+        # Pre-bound ring append: record() is on the simulator's hot path
+        # (every trace site calls it even untraced), so the three
+        # attribute hops flight._ring.append are resolved once here.
+        self._flight_append = (
+            self.flight._ring.append if self.flight is not None else None
+        )
+        #: Unmatched span-record counts per (category, start, end) pairing,
+        #: populated by :meth:`spans` (and therefore by the exports).
+        self.unmatched_spans: Dict[Tuple[str, str, str], int] = {}
+        sim.metrics.observe("trace.unmatched_spans", self._unmatched_total)
+
+    def _unmatched_total(self) -> int:
+        return sum(self.unmatched_spans.values())
 
     def record(self, category: str, label: str, **payload: Any) -> None:
-        """Record one event if tracing is enabled for ``category``."""
+        """Record one event if tracing is enabled for ``category``.
+
+        The flight ring is fed unconditionally (that is its point); the
+        full event list and sink only when enabled.
+        """
+        flight_append = self._flight_append
+        if flight_append is not None:
+            flight_append((self.sim.now, category, label, payload))
         if not self.enabled:
             return
         if self.categories is not None and category not in self.categories:
@@ -82,30 +374,61 @@ class Tracer:
             out = [e for e in out if e.label == label]
         return list(out)
 
-    def spans(self, category: str, start_label: str, end_label: str) -> List[tuple]:
+    def spans(self, category: str, start_label: str, end_label: str) -> SpanList:
         """Pair up start/end records into ``(start, end, duration)`` spans.
 
-        Records are matched FIFO per ``payload['key']`` when present,
-        otherwise globally FIFO.  Unmatched starts are dropped.
+        Records are matched FIFO per ``payload['key']`` when present.
+        When one side is unkeyed the match falls back to FIFO across
+        keys: a keyed end with no same-key start takes the oldest
+        *unkeyed* start, and an unkeyed end with no unkeyed start takes
+        the globally oldest pending start.  Leftover unmatched records
+        are counted on the returned :class:`SpanList`
+        (``unmatched_starts`` / ``unmatched_ends``), remembered in
+        :attr:`unmatched_spans` and surfaced through the
+        ``trace.unmatched_spans`` metric -- broken instrumentation shows
+        up instead of silently vanishing.
         """
         pending: Dict[Any, List[TraceEvent]] = {}
-        out: List[tuple] = []
+        order: List[TraceEvent] = []  # all pending starts, arrival order
+        out = SpanList()
+        unmatched_ends = 0
         for ev in self.events:
             if ev.category != category:
                 continue
             key = ev.payload.get("key")
             if ev.label == start_label:
                 pending.setdefault(key, []).append(ev)
+                order.append(ev)
             elif ev.label == end_label:
                 starts = pending.get(key)
+                start: Optional[TraceEvent] = None
                 if starts:
                     start = starts.pop(0)
-                    out.append((start, ev, ev.time - start.time))
+                elif key is not None and pending.get(None):
+                    # Keyed end, unkeyed start side: unkeyed FIFO.
+                    start = pending[None].pop(0)
+                elif key is None and order:
+                    # Unkeyed end: globally oldest pending start.
+                    start = order[0]
+                    pending[start.payload.get("key")].remove(start)
+                if start is None:
+                    unmatched_ends += 1
+                    continue
+                order.remove(start)
+                out.append((start, ev, ev.time - start.time))
+        out.unmatched_starts = len(order)
+        out.unmatched_ends = unmatched_ends
+        self.unmatched_spans[(category, start_label, end_label)] = (
+            out.unmatched_starts + out.unmatched_ends
+        )
         return out
 
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events (the flight ring included)."""
         self.events.clear()
+        self.unmatched_spans.clear()
+        if self.flight is not None:
+            self.flight.clear()
 
     def dump(self, limit: Optional[int] = None) -> str:
         """Human-readable timeline (for debugging and examples)."""
@@ -117,8 +440,9 @@ class Tracer:
         """One JSON object per event, newline-separated.
 
         The stable schema (``time``/``category``/``label``/``payload``)
-        makes a run greppable and diffable; non-JSON payload values
-        (tuples, enums) are stringified rather than rejected.
+        makes a run greppable and diffable; trace contexts expand to
+        their dict schema and other non-JSON payload values (tuples,
+        enums) are stringified rather than rejected.
         """
         return "\n".join(
             json.dumps(
@@ -126,7 +450,9 @@ class Tracer:
                     "time": ev.time,
                     "category": ev.category,
                     "label": ev.label,
-                    "payload": ev.payload,
+                    "payload": {
+                        k: _json_value(v) for k, v in ev.payload.items()
+                    },
                 },
                 default=str,
                 sort_keys=True,
@@ -135,15 +461,17 @@ class Tracer:
         )
 
     def write_jsonl(self, path: Union[str, Path]) -> Path:
-        """Write :meth:`to_jsonl` to ``path``; returns the path."""
+        """Write :meth:`to_jsonl` to ``path`` atomically (tmp-file +
+        ``os.replace``, the :mod:`repro.campaign.store` pattern), so a
+        crashed run never leaves a truncated trace behind."""
         path = Path(path)
         text = self.to_jsonl()
-        path.write_text(text + "\n" if text else "")
-        return path
+        return _atomic_write_text(path, text + "\n" if text else "")
 
     def to_chrome_trace(
         self,
         span_pairs: Optional[Sequence[Tuple[str, str, str]]] = None,
+        flow_steps: Optional[Sequence[TraceEvent]] = None,
     ) -> Dict[str, Any]:
         """The trace in Chrome ``trace_event`` JSON format.
 
@@ -161,11 +489,18 @@ class Tracer:
             ``payload['key']`` discipline as :meth:`spans`.  Defaults to
             the barrier lifecycle plus every ``<stem>.begin`` /
             ``<stem>.end`` label pair present in the trace.
+        flow_steps:
+            An ordered chain of recorded events (e.g. a critical path
+            from :mod:`repro.analysis.critical_path`) rendered as paired
+            flow ("s"/"f") events, so Perfetto draws causal arrows
+            between the rows the chain crosses.
 
         Notes
         -----
         Timestamps are simulated microseconds, which is exactly the
         ``ts`` unit the trace_event format specifies -- no scaling.
+        Payload values are emitted JSON-native (numbers stay numbers);
+        only non-JSON values are stringified.
         """
         if span_pairs is None:
             span_pairs = [("barrier.initiate", "barrier.complete", "barrier")]
@@ -200,7 +535,9 @@ class Tracer:
                     "ts": ev.time,
                     "pid": pids[ev.category],
                     "tid": 0,
-                    "args": {k: str(v) for k, v in ev.payload.items()},
+                    "args": {
+                        k: _json_value(v) for k, v in ev.payload.items()
+                    },
                 }
             )
         for start_label, end_label, span_name in span_pairs:
@@ -216,18 +553,61 @@ class Tracer:
                             "pid": pids[cat],
                             "tid": 1,
                             "args": {
-                                k: str(v) for k, v in start.payload.items()
+                                k: _json_value(v)
+                                for k, v in start.payload.items()
                             },
                         }
                     )
+        if flow_steps:
+            trace_events.extend(flow_events(flow_steps, pids))
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def write_chrome_trace(
         self,
         path: Union[str, Path],
         span_pairs: Optional[Sequence[Tuple[str, str, str]]] = None,
+        flow_steps: Optional[Sequence[TraceEvent]] = None,
     ) -> Path:
-        """Write :meth:`to_chrome_trace` as JSON to ``path``."""
+        """Write :meth:`to_chrome_trace` as JSON to ``path`` atomically."""
         path = Path(path)
-        path.write_text(json.dumps(self.to_chrome_trace(span_pairs)))
-        return path
+        doc = self.to_chrome_trace(span_pairs, flow_steps=flow_steps)
+        return _atomic_write_text(path, json.dumps(doc))
+
+
+def flow_events(
+    steps: Sequence[TraceEvent], pids: Dict[str, int]
+) -> List[Dict[str, Any]]:
+    """Paired flow ("s"/"f") events along an ordered event chain.
+
+    Each consecutive pair of chain events becomes one flow arrow: a
+    start ("s") at the earlier record and a binding-enclosing finish
+    ("f", ``bp: "e"``) at the later one, sharing an ``id``.  ``pids``
+    maps trace categories to the process ids used by the instant/span
+    events (the mapping :meth:`Tracer.to_chrome_trace` builds).
+    """
+    out: List[Dict[str, Any]] = []
+    for i in range(len(steps) - 1):
+        a, b = steps[i], steps[i + 1]
+        if a.category not in pids or b.category not in pids:
+            continue
+        common = {"cat": "critical_path", "name": "critical_path", "id": i + 1}
+        out.append(
+            {
+                **common,
+                "ph": "s",
+                "ts": a.time,
+                "pid": pids[a.category],
+                "tid": 0,
+            }
+        )
+        out.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",
+                "ts": b.time,
+                "pid": pids[b.category],
+                "tid": 0,
+            }
+        )
+    return out

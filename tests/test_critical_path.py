@@ -1,0 +1,161 @@
+"""Critical-path extraction (PR 4 tentpole).
+
+The acceptance criterion: on a deterministic fault-free run, the
+extracted chain's segment durations sum to the measured end-to-end
+barrier latency within 1e-6 us, and the attribution table names the
+straggler chain hop by hop.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.critical_path import (
+    CriticalPath,
+    extract_critical_path,
+    segment_of,
+    traced_barrier_run,
+)
+
+
+@pytest.fixture(scope="module")
+def pe16():
+    """One traced fault-free 16-node PE barrier (shared: it's the
+    acceptance-criterion configuration)."""
+    return traced_barrier_run(16, algorithm="pe")
+
+
+class TestAcceptanceCriterion:
+    def test_16_node_sum_matches_end_to_end(self, pe16):
+        _, path, end_to_end = pe16
+        total = sum(step.duration_us for step in path)
+        assert total == pytest.approx(path.total_us, abs=1e-9)
+        assert abs(total - end_to_end) < 1e-6
+
+    @pytest.mark.parametrize("algorithm", ["pe", "dissemination", "gb"])
+    @pytest.mark.parametrize("num_nodes", [4, 16])
+    def test_sum_matches_across_algorithms_and_sizes(
+        self, num_nodes, algorithm
+    ):
+        _, path, end_to_end = traced_barrier_run(
+            num_nodes, algorithm=algorithm
+        )
+        assert abs(path.total_us - end_to_end) < 1e-6
+        assert abs(sum(s.duration_us for s in path) - end_to_end) < 1e-6
+
+    def test_table_names_the_straggler_chain(self, pe16):
+        _, path, _ = pe16
+        table = path.render_table()
+        chain = path.straggler_chain()
+        # Host to host via NICs, every element a real location.
+        assert chain[0].startswith("host") and chain[-1].startswith("host")
+        assert any(c.startswith("nic") for c in chain)
+        assert " -> ".join(chain) in table
+        # The table attributes each row to a segment and a place.
+        for needle in ("segment", "barrier.queue", "barrier.exit",
+                       "per segment:"):
+            assert needle in table
+
+
+class TestChainStructure:
+    def test_chain_is_time_ordered_and_connected(self, pe16):
+        _, path, _ = pe16
+        times = [s.time for s in path]
+        assert times == sorted(times)
+        assert path.steps[0].event.label == "barrier.queue"
+        assert path.steps[-1].event.label == "barrier.exit"
+        # The first step's ctx is a root (the chain reaches an initiator).
+        assert path.steps[0].ctx.parent_span_id is None
+
+    def test_single_trace_tree(self, pe16):
+        """cause-ctx adoption keeps the whole chain inside one trace."""
+        _, path, _ = pe16
+        trace_ids = {s.ctx.trace_id for s in path if s.ctx is not None}
+        assert len(trace_ids) == 1
+
+    def test_by_segment_totals_telescope(self, pe16):
+        _, path, _ = pe16
+        assert sum(path.by_segment().values()) == pytest.approx(
+            path.total_us, abs=1e-9
+        )
+        assert sum(path.by_category().values()) == pytest.approx(
+            path.total_us, abs=1e-9
+        )
+
+    def test_segment_classification(self):
+        assert segment_of("barrier.queue") == "Host"
+        assert segment_of("send.xmit") == "Xmit"
+        assert segment_of("switch.route") == "Network"
+        assert segment_of("recv.barrier_recv") == "Recv"
+        assert segment_of("barrier.exit") == "HRecv"
+        assert segment_of("barrier.gb.gather.end") == "NIC"
+
+    def test_summary_is_json_able(self, pe16):
+        _, path, _ = pe16
+        doc = json.loads(json.dumps(path.summary()))
+        assert doc["total_us"] == pytest.approx(path.total_us)
+        assert doc["straggler_chain"] == path.straggler_chain()
+        assert len(doc["steps"]) == len(path)
+
+    def test_extract_raises_without_trace(self):
+        with pytest.raises(ValueError, match="trace context"):
+            extract_critical_path([])
+
+    def test_deterministic(self):
+        a = traced_barrier_run(8, algorithm="dissemination")[1]
+        b = traced_barrier_run(8, algorithm="dissemination")[1]
+        assert [s.event.label for s in a] == [s.event.label for s in b]
+        assert a.total_us == b.total_us
+
+
+class TestChromeFlowIntegration:
+    def test_flow_arrows_follow_the_chain(self, pe16):
+        cluster, path, _ = pe16
+        doc = cluster.tracer.to_chrome_trace(flow_steps=path.events)
+        starts = [e for e in doc["traceEvents"] if e.get("ph") == "s"]
+        ends = [e for e in doc["traceEvents"] if e.get("ph") == "f"]
+        assert len(starts) == len(path) - 1
+        assert len(ends) == len(starts)
+        # Pairing is by (cat, id); every start has its finish.
+        assert {(e["cat"], e["id"]) for e in starts} == {
+            (e["cat"], e["id"]) for e in ends
+        }
+
+
+class TestMeasurementIntegration:
+    def test_measure_barrier_attaches_summary(self):
+        from repro.analysis.experiments import (
+            BarrierMeasurement,
+            measure_barrier,
+        )
+        from repro.cluster.builder import ClusterConfig
+
+        config = ClusterConfig(num_nodes=4)
+        plain = measure_barrier(
+            config, nic_based=True, algorithm="pe", repetitions=2, warmup=1
+        )
+        assert plain.critical_path is None
+        m = measure_barrier(
+            config, nic_based=True, algorithm="pe", repetitions=2, warmup=1,
+            critical_path=True,
+        )
+        assert m.critical_path is not None
+        assert m.critical_path["total_us"] > 0
+        # The extra traced run must not perturb the measurement itself.
+        assert m.per_barrier_us == plain.per_barrier_us
+        # Round-trips through the campaign payload schema, old payloads
+        # (without the field) included.
+        again = BarrierMeasurement.from_dict(m.to_dict())
+        assert again.critical_path == m.critical_path
+        legacy = m.to_dict()
+        del legacy["critical_path"]
+        assert BarrierMeasurement.from_dict(legacy).critical_path is None
+
+    def test_report_cli_prints_attribution_table(self, capsys):
+        from repro.analysis.report import main
+
+        assert main(["--critical-path", "8", "--algo", "dissemination"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "straggler chain:" in out
+        assert "end-to-end barrier latency" in out

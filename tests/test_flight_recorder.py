@@ -1,0 +1,184 @@
+"""Flight recorder (PR 4 tentpole): the always-on black box.
+
+The last K trace records are retained even with tracing off; a
+``RetransmitLimitExceeded`` alarm (or any exception escaping
+``Cluster.run``) ships the snapshot on the exception; a failed campaign
+job returns it in its result record; a failed soak combo also dumps it
+to disk.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.cluster.runner import run_on_group
+from repro.core.barrier import barrier as nic_barrier
+from repro.faults.plan import FaultPlan, LinkFlap
+from repro.gm.constants import BarrierReliability
+from repro.nic.nic import NicParams, RetransmitLimitExceeded
+from repro.sim.engine import Simulator
+from repro.sim.tracing import (
+    FLIGHT_RECORDER_SIZE,
+    FlightRecorder,
+    Tracer,
+    dump_flight_records,
+)
+
+
+def doomed_config(**overrides) -> ClusterConfig:
+    """Two nodes, node 1 permanently cut off: the barrier stream must
+    give up with RetransmitLimitExceeded."""
+    base = dict(
+        num_nodes=2,
+        nic_params=NicParams(
+            barrier_reliability=BarrierReliability.SEPARATE,
+            retransmit_timeout_us=300.0,
+            barrier_retransmit_timeout_us=200.0,
+            max_retransmits=4,
+        ),
+        fault_plan=FaultPlan(
+            seed=1,
+            flaps=[LinkFlap(node=1, down_at=0.0, up_at=None,
+                            direction="both")],
+        ),
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+def run_doomed_barrier(config):
+    cluster = build_cluster(config)
+
+    def program(ctx):
+        yield from nic_barrier(ctx.port, ctx.group, ctx.rank, algorithm="pe")
+
+    with pytest.raises(RetransmitLimitExceeded) as excinfo:
+        run_on_group(cluster, program, max_events=5_000_000)
+    return cluster, excinfo.value
+
+
+class TestRing:
+    def test_keeps_only_the_last_k(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=False, flight_size=16)
+        for i in range(50):
+            tracer.record("test", "tick", i=i)
+        assert len(tracer.flight) == 16
+        snap = tracer.flight.snapshot()
+        assert [r["payload"]["i"] for r in snap] == list(range(34, 50))
+
+    def test_records_land_even_with_tracing_off(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=False)
+        tracer.record("test", "tick")
+        assert tracer.events == []
+        assert len(tracer.flight) == 1
+        assert tracer.flight.capacity == FLIGHT_RECORDER_SIZE
+
+    def test_dump_files(self, tmp_path):
+        ring = FlightRecorder(capacity=8)
+        ring.append(1.5, "nic0", "send.xmit", {"key": 3})
+        jsonl_path, text_path = ring.dump(tmp_path / "box")
+        lines = jsonl_path.read_text().splitlines()
+        assert len(lines) == 1
+        rec = json.loads(lines[0])
+        assert rec["label"] == "send.xmit" and rec["time"] == 1.5
+        assert "send.xmit" in text_path.read_text()
+
+    def test_dump_flight_records_roundtrips_snapshots(self, tmp_path):
+        ring = FlightRecorder(capacity=4)
+        for i in range(6):
+            ring.append(float(i), "net", "link.deliver", {"i": i})
+        jsonl_path, _ = dump_flight_records(ring.snapshot(), tmp_path / "fr")
+        recs = [json.loads(l) for l in jsonl_path.read_text().splitlines()]
+        assert [r["payload"]["i"] for r in recs] == [2, 3, 4, 5]
+
+
+class TestAlarmAttachesSnapshot:
+    def test_retransmit_alarm_carries_flight_records(self):
+        cluster, alarm = run_doomed_barrier(doomed_config())
+        records = alarm.flight_records
+        assert records, "alarm carried no flight records"
+        assert records[-1]["label"] == "reliability.alarm"
+        # Snapshot is JSON-able as-is (it crosses process boundaries).
+        json.dumps(records)
+        # The retransmit attempts that led to the give-up are in the box.
+        labels = [r["label"] for r in records]
+        assert "barrier.send" in labels or "sdma.retransmit" in labels
+
+    def test_on_by_default_with_tracing_off(self):
+        """The black box works in the default (untraced) configuration."""
+        config = doomed_config()
+        assert config.trace is False
+        _, alarm = run_doomed_barrier(config)
+        assert alarm.flight_records
+
+
+class TestCampaignIntegration:
+    def _doomed_job(self):
+        from repro.campaign.serialize import cluster_config_to_dict
+        from repro.campaign.spec import JobSpec
+
+        return JobSpec(
+            kind="measure",
+            config=cluster_config_to_dict(doomed_config()),
+            params={"nic_based": True, "algorithm": "pe",
+                    "repetitions": 1, "warmup": 0},
+            tag="doomed",
+        )
+
+    def test_failed_job_returns_the_dump_in_its_result_record(self):
+        from repro.campaign.executor import run_campaign
+
+        result = run_campaign([self._doomed_job()], name="flight-test")
+        jr = result.results[0]
+        assert not jr.ok and jr.error_type == "RetransmitLimitExceeded"
+        assert jr.flight, "JobResult.flight is empty"
+        assert jr.flight[-1]["label"] == "reliability.alarm"
+
+    def test_bench_artifact_carries_the_flight(self, tmp_path):
+        from repro.campaign.executor import run_campaign
+        from repro.campaign.store import write_bench
+
+        result = run_campaign([self._doomed_job()], name="flight-bench")
+        path = write_bench(tmp_path, result)
+        bench = json.loads(path.read_text())
+        job = bench["jobs"][0]
+        assert job["ok"] is False
+        assert job["flight"][-1]["label"] == "reliability.alarm"
+
+
+class TestSoakDump:
+    def test_failed_soak_combo_dumps_to_disk(self, tmp_path, monkeypatch):
+        """A soak combo that cannot finish (tiny event budget) leaves
+        its black box as files and on the exception."""
+        from repro.faults.soak import run_soak_combo
+        from repro.gm.constants import BarrierReliability
+
+        with pytest.raises(RuntimeError) as excinfo:
+            run_soak_combo(
+                seed=3, label="nic-pe", nic_based=True, algorithm="pe",
+                reliability=BarrierReliability.SEPARATE, num_nodes=4,
+                repetitions=1, max_events=200,
+                flight_dump_dir=str(tmp_path),
+            )
+        exc = excinfo.value
+        assert exc.flight_records
+        dumped = sorted(tmp_path.glob("flight-*.jsonl"))
+        assert len(dumped) == 1
+        assert str(dumped[0]) == exc.flight_dump
+        assert (tmp_path / (dumped[0].stem + ".txt")).exists()
+
+    def test_no_files_when_disabled(self, tmp_path):
+        from repro.faults.soak import run_soak_combo
+        from repro.gm.constants import BarrierReliability
+
+        with pytest.raises(RuntimeError):
+            run_soak_combo(
+                seed=3, label="nic-pe", nic_based=True, algorithm="pe",
+                reliability=BarrierReliability.SEPARATE, num_nodes=4,
+                repetitions=1, max_events=200,
+                flight_dump_dir=None,
+            )
+        assert list(tmp_path.glob("flight-*")) == []

@@ -1,0 +1,180 @@
+"""Trace-context propagation (PR 4 tentpole).
+
+Every record a traced barrier leaves must carry a
+:class:`~repro.sim.tracing.TraceContext` linking it into one span tree;
+retransmissions keep the trace id and bump the attempt counter; and the
+whole tracing layer must be a pure observer -- bit-identical simulation
+results with tracing on or off.
+"""
+
+import pytest
+
+from repro.cluster.builder import ClusterConfig, build_cluster
+from repro.cluster.runner import default_group, run_on_group
+from repro.core.barrier import barrier as nic_barrier
+from repro.faults.plan import FaultPlan, LinkFlap
+from repro.gm.constants import BarrierReliability
+from repro.nic.nic import NicParams
+from repro.sim.tracing import TraceContext
+
+
+def run_traced_barriers(num_nodes=8, algorithm="pe", repetitions=1,
+                        config=None):
+    if config is None:
+        config = ClusterConfig(num_nodes=num_nodes, trace=True)
+    cluster = build_cluster(config)
+
+    def program(ctx):
+        for _ in range(repetitions):
+            yield from nic_barrier(
+                ctx.port, ctx.group, ctx.rank, algorithm=algorithm
+            )
+        return ctx.now
+
+    run_on_group(cluster, program, group=default_group(cluster),
+                 max_events=20_000_000)
+    return cluster
+
+
+class TestContextPropagation:
+    @pytest.mark.parametrize("algorithm", ["pe", "dissemination", "gb"])
+    def test_every_barrier_record_carries_a_context(self, algorithm):
+        cluster = run_traced_barriers(8, algorithm=algorithm)
+        barrier_records = [
+            e for e in cluster.tracer.events if e.label.startswith("barrier.")
+        ]
+        assert barrier_records, "traced run left no barrier records"
+        for e in barrier_records:
+            ctx = e.payload.get("ctx")
+            assert isinstance(ctx, TraceContext), (
+                f"{e.label} at t={e.time} has no trace context"
+            )
+
+    def test_one_barrier_is_one_trace_tree_per_initiator(self):
+        """Each rank's initiation roots its own trace; spans form a tree
+        (every non-root parent id is some span in the same trace)."""
+        cluster = run_traced_barriers(8)
+        by_trace = {}
+        for e in cluster.tracer.events:
+            ctx = e.payload.get("ctx")
+            if isinstance(ctx, TraceContext):
+                by_trace.setdefault(ctx.trace_id, []).append(ctx)
+        # 8 initiators -> 8 root contexts -> 8 trace trees.
+        assert len(by_trace) == 8
+        for trace_id, ctxs in by_trace.items():
+            spans = {c.span_id for c in ctxs}
+            roots = {c.span_id for c in ctxs if c.parent_span_id is None}
+            assert len(roots) == 1, f"trace {trace_id} has {len(roots)} roots"
+            for c in ctxs:
+                if c.parent_span_id is not None:
+                    assert c.parent_span_id in spans
+
+    def test_network_records_count_hops(self):
+        cluster = run_traced_barriers(8)
+        routed = [e for e in cluster.tracer.events
+                  if e.label == "switch.route"]
+        assert routed, "no switch.route records on a single-switch fabric"
+        # One switch between any two testbed nodes: hop becomes 1 there.
+        assert all(e.payload["ctx"].hop == 1 for e in routed)
+        # Deliveries on the final (switch->NIC) leg carry the bumped hop.
+        final_legs = [
+            e for e in cluster.tracer.events
+            if e.label == "link.deliver"
+            and e.payload["channel"].startswith("down:")
+        ]
+        assert final_legs
+        assert all(e.payload["ctx"].hop == 1 for e in final_legs)
+
+
+class TestRetransmissionKeepsTraceId:
+    def test_retry_bumps_attempt_same_trace(self):
+        """A permanent-until-t=500 link cut forces barrier retransmits;
+        the retried packets stay in the original trace with attempt > 0
+        and a reset hop counter."""
+        config = ClusterConfig(
+            num_nodes=2,
+            trace=True,
+            nic_params=NicParams(
+                barrier_reliability=BarrierReliability.SEPARATE,
+                retransmit_timeout_us=300.0,
+                barrier_retransmit_timeout_us=200.0,
+            ),
+            fault_plan=FaultPlan(
+                seed=7,
+                flaps=[LinkFlap(node=1, down_at=0.0, up_at=500.0,
+                                direction="rx")],
+            ),
+        )
+        cluster = run_traced_barriers(2, config=config)
+        retried = [
+            e for e in cluster.tracer.events
+            if isinstance(e.payload.get("ctx"), TraceContext)
+            and e.payload["ctx"].attempt > 0
+        ]
+        assert retried, "the flap produced no attempt>0 records"
+        first_attempts = {
+            e.payload["ctx"].trace_id
+            for e in cluster.tracer.events
+            if isinstance(e.payload.get("ctx"), TraceContext)
+            and e.payload["ctx"].attempt == 0
+        }
+        for e in retried:
+            ctx = e.payload["ctx"]
+            # Same trace tree as the original transmission...
+            assert ctx.trace_id in first_attempts
+        # ...and the clone's hop counter restarted from zero: its
+        # switch traversal bumps it back to exactly 1.
+        retried_routes = [e for e in retried if e.label == "switch.route"]
+        assert retried_routes
+        assert all(e.payload["ctx"].hop == 1 for e in retried_routes)
+
+    def test_clone_packet_retry_semantics(self):
+        from repro.network.packet import PacketType
+
+        cluster = build_cluster(ClusterConfig(num_nodes=2, trace=True))
+        nic = cluster.nodes[0].nic
+        root = TraceContext.root()
+        pkt = nic.make_packet(
+            PacketType.DATA, dst_node=1, dst_port=2, src_port=2,
+            seqno=5, ctx=root.child(),
+        )
+        pkt.ctx = pkt.ctx.next_hop()
+        clone = nic.clone_packet(pkt)
+        assert clone.ctx.trace_id == pkt.ctx.trace_id
+        assert clone.ctx.span_id == pkt.ctx.span_id
+        assert clone.ctx.attempt == pkt.ctx.attempt + 1
+        assert clone.ctx.hop == 0
+
+
+class TestTracingIsAPureObserver:
+    @pytest.mark.parametrize("algorithm", ["pe", "gb"])
+    def test_on_off_bit_identical(self, algorithm):
+        """Same final clock, same event count, same metrics snapshot --
+        tracing must never perturb the simulation."""
+        outcomes = []
+        for trace in (False, True):
+            config = ClusterConfig(num_nodes=8, trace=trace, metrics=True)
+            cluster = run_traced_barriers(
+                8, algorithm=algorithm, repetitions=3, config=config
+            )
+            outcomes.append(
+                (
+                    cluster.sim.now,
+                    cluster.sim.events_executed,
+                    cluster.metrics.snapshot(),
+                )
+            )
+        off, on = outcomes
+        assert off[0] == on[0], "final clock differs with tracing on"
+        assert off[1] == on[1], "event count differs with tracing on"
+        assert off[2] == on[2], "metrics snapshot differs with tracing on"
+
+    def test_untraced_packets_still_carry_contexts(self):
+        """Context ids are allocated unconditionally (determinism), so
+        packets carry them even when no tracer records anything."""
+        cluster = run_traced_barriers(
+            4, config=ClusterConfig(num_nodes=4, trace=False)
+        )
+        assert cluster.tracer.events == []
+        # The flight recorder still saw the run (always-on black box).
+        assert len(cluster.tracer.flight) > 0
