@@ -373,7 +373,7 @@ class Nic:
     def ensure_retransmit_timer(self, conn: Connection) -> None:
         """Start the go-back-N timer if unacked packets exist."""
         if conn.retransmit_timer is None and conn.sent_list:
-            conn.retransmit_timer = self.sim.schedule(
+            conn.retransmit_timer = self.sim.schedule_timer(
                 self.params.retransmit_timeout_us, self._on_retransmit_timeout, conn
             )
 
@@ -383,7 +383,7 @@ class Nic:
             conn.retransmit_timer.cancel()
             conn.retransmit_timer = None
         if conn.sent_list:
-            conn.retransmit_timer = self.sim.schedule(
+            conn.retransmit_timer = self.sim.schedule_timer(
                 self.params.retransmit_timeout_us, self._on_retransmit_timeout, conn
             )
 
@@ -431,7 +431,7 @@ class Nic:
             self.rdma_queue.put(("ack_gen", conn.remote_node))
             return
         if conn.ack_timer is None:
-            conn.ack_timer = self.sim.schedule(
+            conn.ack_timer = self.sim.schedule_timer(
                 self.params.ack_delay_us, self._on_ack_timer, conn
             )
 
@@ -445,7 +445,7 @@ class Nic:
             conn.barrier_retransmit_timer.cancel()
             conn.barrier_retransmit_timer = None
         if conn.barrier_unacked:
-            conn.barrier_retransmit_timer = self.sim.schedule(
+            conn.barrier_retransmit_timer = self.sim.schedule_timer(
                 self.params.barrier_retransmit_timeout_us,
                 self._on_barrier_retransmit_timeout,
                 conn,

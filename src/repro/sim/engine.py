@@ -1,9 +1,34 @@
 """The simulation event loop.
 
-The engine is a classic calendar-queue DES core: a binary heap of
-``(time, priority, seq, callback)`` entries and a virtual clock.  Everything
-else in :mod:`repro.sim` (processes, timeouts, stores, resources) is sugar
-that schedules callbacks here.
+The engine is a two-tier calendar-queue DES core:
+
+* **Near tier** -- a calendar of fixed-width time buckets.  The *current*
+  bucket is a small binary heap (``_cur``); future buckets within the
+  horizon are plain unsorted lists in a dict (``_cal``), so scheduling
+  into them is a single ``list.append``.  A bucket is heapified only when
+  the clock enters it.
+* **Overflow tier** -- events beyond the calendar horizon live in one
+  binary heap (``_ovf``) and migrate into the calendar as the clock
+  approaches them.
+* **Timer wheel** -- ``schedule_timer`` parks far-future timers (the
+  retransmission pattern: armed constantly, cancelled almost always) in
+  coarse wheel buckets that never touch the hot queues.  Cancelling a
+  timer is O(1) and reclaims the whole bucket once its last live timer
+  is cancelled, so cancelled timers cause *zero* churn in the dispatch
+  path.  A wheel bucket is only flushed into the calendar when the clock
+  approaches the earliest time it could contain.
+
+Events execute in exactly ``(time, priority, seq)`` order, identical to
+the classic single-heap engine this replaced -- sequence numbers are
+allocated at schedule time regardless of which tier an event lands in,
+so traces are bit-identical (see ``tests/test_engine_trace_regression``).
+
+Hot-path representation: an :class:`EventHandle` *is* its queue entry --
+a ``list`` subclass ``[time, priority, seq, callback, args, sim]`` -- so
+heap comparisons run entirely in C (floats/ints compared element-wise;
+``seq`` is unique, so comparison never reaches the callback).  This
+replaced a ``__slots__`` object with a Python-level ``__lt__`` that
+dominated the old profile.
 
 Time is a ``float`` in **microseconds** throughout this project; the
 Myrinet/GM latencies the paper reports are all in the 1--250 us range, so
@@ -12,8 +37,8 @@ microseconds keep the numbers legible in traces and results tables.
 
 from __future__ import annotations
 
-import heapq
 import time
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.sim.metrics import MetricsRegistry
@@ -26,54 +51,115 @@ PRIORITY_HIGH = -1
 #: Priority for events that must run after all normal activity at an instant.
 PRIORITY_LOW = 1
 
-
-class EventHandle:
-    """A cancellable handle for a scheduled callback.
-
-    Cancellation is lazy: the heap entry stays in place and is skipped when
-    popped.  This makes :meth:`cancel` O(1), which matters because
-    retransmission timers are cancelled far more often than they fire.
-    """
-
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
-
-    def __init__(
-        self,
-        time: float,
-        priority: int,
-        seq: int,
-        callback: Callable[..., None],
-        args: tuple,
-    ) -> None:
-        self.time = time
-        self.priority = priority
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        """Prevent the callback from running.  Idempotent."""
-        self.cancelled = True
-        # Drop references so cancelled timers don't pin large objects until
-        # the heap entry is popped.
-        self.callback = _noop
-        self.args = ()
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<EventHandle t={self.time:.3f} prio={self.priority} {state}>"
+#: Calendar bucket width in simulated microseconds.  A power of two so
+#: ``t // BUCKET_WIDTH`` and ``(idx + 1) * BUCKET_WIDTH`` are exact float
+#: arithmetic -- bucket indices are floats (floor-division results) used
+#: as dict keys, which is both exact and the fastest bucketing CPython
+#: offers (no int() round-trip).
+BUCKET_WIDTH = 16.0
+#: Calendar horizon in buckets; events further out go to the overflow heap.
+HORIZON_BUCKETS = 64.0
+#: Timer-wheel bucket width (coarse: timers batch by ~granule).
+WHEEL_GRANULE = 256.0
 
 
 def _noop(*_args: Any) -> None:
     return None
+
+
+class EventHandle(list):
+    """A cancellable handle for a scheduled callback.
+
+    The handle *is* the queue entry: ``[time, priority, seq, callback,
+    args, sim]``.  Comparison is C-level ``list`` comparison and always
+    terminates at ``seq`` (unique), never reaching the callback.
+
+    Cancellation is lazy: the entry stays in its queue and is skipped
+    when popped, making :meth:`cancel` O(1) -- retransmission timers are
+    cancelled far more often than they fire.  A handle that has already
+    executed is inert: cancelling it is a no-op.
+    """
+
+    __slots__ = ()
+
+    _TIME, _PRIO, _SEQ, _CB, _ARGS, _SIM = range(6)
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time (us) the callback fires at."""
+        return self[0]
+
+    @property
+    def priority(self) -> int:
+        """Same-instant ordering class (``PRIORITY_HIGH``/``NORMAL``/``LOW``)."""
+        return self[1]
+
+    @property
+    def seq(self) -> int:
+        """Schedule-order tiebreak: unique, monotone per simulator."""
+        return self[2]
+
+    @property
+    def callback(self) -> Callable[..., None]:
+        """The scheduled callable (a no-op once cancelled or executed)."""
+        cb = self[3]
+        return cb if cb is not None else _noop
+
+    @property
+    def args(self) -> tuple:
+        """Positional arguments the callback fires with (``()`` if inert)."""
+        a = self[4]
+        return a if a is not None else ()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the handle will never fire (cancelled *or* spent)."""
+        return self[3] is None
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent.
+
+        Drops the callback/args references immediately so cancelled
+        timers don't pin large objects until the entry is reaped.
+        """
+        if self[3] is None:
+            return
+        self[3] = None
+        self[4] = ()
+        sim = self[5]
+        self[5] = None
+        sim._live -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self[3] is None else "pending"
+        return f"<EventHandle t={self[0]:.3f} prio={self[1]} {state}>"
+
+
+class TimerHandle(EventHandle):
+    """An :class:`EventHandle` parked in the timer wheel.
+
+    Entry layout gains a 7th element: the wheel-bucket key, or ``None``
+    once flushed into the main queues.  Cancelling while still parked
+    reclaims the timer without it ever touching the dispatch queues; the
+    wheel bucket itself is freed when its last live timer is cancelled.
+    """
+
+    __slots__ = ()
+
+    def cancel(self) -> None:
+        """Cancel the timer; while parked this never touches a queue."""
+        if self[3] is None:
+            return
+        self[3] = None
+        self[4] = ()
+        sim = self[5]
+        self[5] = None
+        if self[6] is not None:
+            # Still parked: it was never counted live, nothing to adjust.
+            self[6] = None
+            sim.timers_reclaimed += 1
+        else:
+            sim._live -= 1
 
 
 def _callback_owner(callback: Callable[..., None]) -> str:
@@ -87,7 +173,7 @@ def _callback_owner(callback: Callable[..., None]) -> str:
 
 
 class Simulator:
-    """Owns the virtual clock and the pending-event heap.
+    """Owns the virtual clock and the two-tier pending-event queues.
 
     Parameters
     ----------
@@ -98,15 +184,16 @@ class Simulator:
         live (components registering into it record for real) instead of
         as a null registry.
     profile:
-        Enable the per-callback-owner wall-clock profiler in
-        :meth:`step` (see :meth:`profile_stats`).  Off by default -- the
-        hot dispatch path then pays a single attribute test.
+        Enable the per-callback-owner wall-clock profiler (see
+        :meth:`profile_stats`).  Off by default -- profiling runs through
+        a separate, slower dispatch loop so the hot path pays nothing.
 
     Notes
     -----
     The simulator is single-threaded and re-entrant only in the sense that
-    callbacks may schedule further events.  ``run()`` drains the heap until
-    a stop condition.
+    callbacks may schedule further events.  ``run()`` drains the queues
+    until a stop condition.  See :doc:`docs/engine.md` for the scheduler
+    architecture and its diagnostics.
     """
 
     def __init__(
@@ -116,20 +203,41 @@ class Simulator:
         profile: bool = False,
     ) -> None:
         self.now: float = start_time
-        self._heap: list[EventHandle] = []
         self._seq: int = 0
+        #: Live (non-cancelled, non-executed) entries across all tiers.
+        self._live: int = 0
         self._running: bool = False
         self._stop_requested: bool = False
+        # Near tier: current bucket (heap) + future buckets (unsorted lists).
+        idx = start_time // BUCKET_WIDTH
+        self._cur: List[EventHandle] = []
+        self._cur_end: float = (idx + 1.0) * BUCKET_WIDTH
+        self._cal: Dict[float, List[EventHandle]] = {}
+        self._horizon_idx: float = idx + HORIZON_BUCKETS
+        # Overflow tier: far-future events.
+        self._ovf: List[EventHandle] = []
+        # Timer wheel: key -> [lb, cap, handles] where lb is the lowest
+        # time ever parked there (a lower bound on its live contents,
+        # maintained on insert only -- cancellation must stay O(1), so it
+        # is conservative, never wrong) and cap is the length at which
+        # the handle list is compacted (dead entries dropped in one
+        # sweep, amortized O(1) per insert, so cancel-heavy buckets can't
+        # build GC-visible garbage mountains while they wait to flush).
+        self._wheel: Dict[float, list] = {}
         #: Number of callbacks executed; useful for profiling and for
         #: detecting runaway simulations in tests.
         self.events_executed: int = 0
         #: Registry every component of this simulation registers into.
         self.metrics = MetricsRegistry(self, enabled=metrics_enabled)
-        #: Heap pops that hit a lazily-cancelled entry (the cost of O(1)
+        #: Queue pops that hit a lazily-cancelled entry (the cost of O(1)
         #: ``EventHandle.cancel``); compare against ``events_executed``
         #: for the cancelled-pop ratio.
         self.cancelled_pops: int = 0
-        #: Deepest pending-event heap seen (profiling mode only).
+        #: Timers cancelled while still parked in the wheel -- reclaimed
+        #: without ever touching the dispatch queues (the win the wheel
+        #: exists for; these would all have been ``cancelled_pops``).
+        self.timers_reclaimed: int = 0
+        #: Deepest live pending-event count seen (profiling mode only).
         self.heap_high_water: int = 0
         self._profile = profile
         #: owner -> [events executed, wall-clock seconds].
@@ -161,7 +269,23 @@ class Simulator:
                 raise ValueError(
                     f"cannot schedule into the past (delay={delay})"
                 )
-        return self.schedule_at(self.now + delay, callback, *args, priority=priority)
+        t = self.now + delay
+        self._seq = seq = self._seq + 1
+        self._live += 1
+        handle = EventHandle((t, priority, seq, callback, args, self))
+        if t < self._cur_end:
+            heappush(self._cur, handle)
+        else:
+            idx = t // BUCKET_WIDTH
+            if idx < self._horizon_idx:
+                bucket = self._cal.get(idx)
+                if bucket is None:
+                    self._cal[idx] = [handle]
+                else:
+                    bucket.append(handle)
+            else:
+                heappush(self._ovf, handle)
+        return handle
 
     def schedule_at(
         self,
@@ -175,41 +299,187 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
-        self._seq += 1
-        handle = EventHandle(time, priority, self._seq, callback, tuple(args))
-        heapq.heappush(self._heap, handle)
+        self._seq = seq = self._seq + 1
+        self._live += 1
+        handle = EventHandle((time, priority, seq, callback, args, self))
+        self._insert(handle)
         return handle
+
+    def schedule_timer(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule a *timer*: semantically identical to :meth:`schedule`
+        (same clock, same ``(time, priority, seq)`` ordering, same lazy
+        :meth:`~EventHandle.cancel`), but optimized for callbacks that
+        are usually cancelled before they fire.
+
+        Far-future timers park in a coarse wheel bucket instead of the
+        dispatch queues; cancellation there is O(1) and frees the bucket
+        wholesale once its last live timer dies, so the churn of
+        arm/cancel cycles (the NIC retransmission pattern) never reaches
+        the hot path.  A timer that *does* survive is flushed into the
+        normal queues just before the clock reaches its wheel bucket and
+        fires in exactly the order :meth:`schedule` would have fired it.
+        """
+        if delay < 0:
+            if delay >= -1e-9:
+                delay = 0.0
+            else:
+                raise ValueError(
+                    f"cannot schedule into the past (delay={delay})"
+                )
+        t = self.now + delay
+        self._seq = seq = self._seq + 1
+        if t < self._cur_end:
+            # Near timer: the wheel can't help (its bucket is already due).
+            self._live += 1
+            handle = TimerHandle((t, priority, seq, callback, args, self, None))
+            heappush(self._cur, handle)
+            return handle
+        # Parked timers are *not* counted into ``_live`` until flushed --
+        # arming and cancelling must stay free of simulator bookkeeping;
+        # ``pending_events`` folds the wheel in lazily instead.
+        key = t // WHEEL_GRANULE
+        handle = TimerHandle((t, priority, seq, callback, args, self, key))
+        entry = self._wheel.get(key)
+        if entry is None:
+            self._wheel[key] = [t, 2048, [handle]]
+        else:
+            bucket = entry[2]
+            bucket.append(handle)
+            if t < entry[0]:
+                entry[0] = t
+            if len(bucket) >= entry[1]:
+                self._wheel_compact(entry)
+        return handle
+
+    def _insert(self, handle: EventHandle) -> None:
+        """Route an entry into the right tier (time already validated)."""
+        t = handle[0]
+        if t < self._cur_end:
+            heappush(self._cur, handle)
+        else:
+            idx = t // BUCKET_WIDTH
+            if idx < self._horizon_idx:
+                bucket = self._cal.get(idx)
+                if bucket is None:
+                    self._cal[idx] = [handle]
+                else:
+                    bucket.append(handle)
+            else:
+                heappush(self._ovf, handle)
+
+    # ------------------------------------------------------------------
+    # Timer wheel internals
+    # ------------------------------------------------------------------
+    def _wheel_compact(self, entry: list) -> None:
+        """Drop a parked bucket's cancelled timers in one sweep.
+
+        Runs when the bucket outgrows its compaction cap; the next cap is
+        sized from the surviving live count, so churn-heavy buckets stay
+        small while genuinely live-heavy buckets double away from the
+        threshold instead of rescanning on every insert.
+        """
+        bucket = entry[2]
+        bucket[:] = [h for h in bucket if h[3] is not None]
+        entry[1] = 2 * len(bucket) + 2048
+
+    def _wheel_flush(self, key: float) -> None:
+        """Move a due wheel bucket's live timers into the main queues.
+
+        Cancelled timers are skipped here in one batched sweep -- a plain
+        ``is None`` test per entry, instead of a heap pop each -- which
+        is what makes :meth:`TimerHandle.cancel` queue-free.
+        """
+        bucket = self._wheel.pop(key)[2]
+        insert = self._insert
+        live = 0
+        for handle in bucket:
+            if handle[3] is not None:
+                handle[6] = None
+                insert(handle)
+                live += 1
+        self._live += live
+
+    # ------------------------------------------------------------------
+    # Bucket advance (the only place the clock crosses bucket boundaries)
+    # ------------------------------------------------------------------
+    def _advance_bucket(self) -> bool:
+        """Refill the empty current bucket from the other tiers.
+
+        Returns False when no events remain anywhere.  Flushes every
+        wheel bucket that could contain an event at or before the chosen
+        bucket's end, so the current bucket's heap top is always the
+        global minimum by ``(time, priority, seq)``.
+        """
+        cal = self._cal
+        ovf = self._ovf
+        wheel = self._wheel
+        while True:
+            nxt = min(cal) if cal else None
+            if ovf:
+                oidx = ovf[0][0] // BUCKET_WIDTH
+                if nxt is None or oidx < nxt:
+                    nxt = oidx
+            if wheel:
+                key = min(wheel, key=lambda k: wheel[k][0])
+                if nxt is None or wheel[key][0] < (nxt + 1.0) * BUCKET_WIDTH:
+                    self._wheel_flush(key)
+                    if self._cur:
+                        # Flushed timers landed in the *current* bucket
+                        # (it is still open: its end hasn't been reached).
+                        return True
+                    continue
+            break
+        if nxt is None:
+            return False
+        bucket = cal.pop(nxt, None)
+        if bucket is None:
+            bucket = []
+        end = (nxt + 1.0) * BUCKET_WIDTH
+        while ovf and ovf[0][0] < end:
+            bucket.append(heappop(ovf))
+        heapify(bucket)
+        self._cur = bucket
+        self._cur_end = end
+        self._horizon_idx = nxt + HORIZON_BUCKETS
+        return True
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Execute the next pending event.  Returns False if heap is empty."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                self.cancelled_pops += 1
-                continue
-            if handle.time < self.now:  # pragma: no cover - defensive
-                raise RuntimeError("event heap corrupted: time went backwards")
-            self.now = handle.time
-            self.events_executed += 1
-            if self._profile:
-                self._step_profiled(handle)
-            else:
-                handle.callback(*handle.args)
-            return True
-        return False
+        """Execute the next pending event.  Returns False if idle."""
+        if self.peek() is None:
+            return False
+        handle = heappop(self._cur)
+        self.now = handle[0]
+        callback = handle[3]
+        args = handle[4]
+        handle[3] = None
+        handle[4] = None
+        handle[5] = None
+        self._live -= 1
+        self.events_executed += 1
+        if self._profile:
+            self._dispatch_profiled(callback, args)
+        else:
+            callback(*args)
+        return True
 
-    def _step_profiled(self, handle: EventHandle) -> None:
-        """Execute one event under the wall-clock profiler."""
-        depth = len(self._heap)
+    def _dispatch_profiled(self, callback, args) -> None:
+        """Execute one callback under the wall-clock profiler."""
+        depth = self._live
         if depth > self.heap_high_water:
             self.heap_high_water = depth
         t0 = time.perf_counter()
-        handle.callback(*handle.args)
+        callback(*args)
         wall = time.perf_counter() - t0
-        owner = _callback_owner(handle.callback)
+        owner = _callback_owner(callback)
         rec = self._profile_stats.get(owner)
         if rec is None:
             self._profile_stats[owner] = [1, wall]
@@ -218,19 +488,19 @@ class Simulator:
             rec[1] += wall
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Drain the event heap.
+        """Drain the event queues.
 
         Parameters
         ----------
         until:
             Stop once the clock would pass this instant.  Events scheduled
             exactly at ``until`` are executed.  The clock is advanced to
-            ``until`` on return even if the heap empties earlier.
+            ``until`` on return even if the queues empty earlier.
         max_events:
             Safety valve: allow exactly this many callbacks, then raise
             ``RuntimeError`` if live events remain.  Useful in tests to
             catch livelock (e.g. a polling loop that never yields time).
-            A run whose heap drains in exactly ``max_events`` callbacks
+            A run whose queues drain in exactly ``max_events`` callbacks
             completes normally.
 
         Returns
@@ -242,31 +512,91 @@ class Simulator:
             raise RuntimeError("Simulator.run() is not re-entrant")
         self._running = True
         self._stop_requested = False
-        executed = 0
         try:
-            while self._heap and not self._stop_requested:
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._heap)
-                    self.cancelled_pops += 1
-                    continue
-                if until is not None and nxt.time > until:
-                    break
-                self.step()
+            if self._profile or until is not None or max_events is not None:
+                self._run_checked(until, max_events)
+            else:
+                self._run_fast()
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def _run_fast(self) -> None:
+        """The hot dispatch loop: no until/max_events/profiler checks.
+
+        ``events_executed``/``_live``/``cancelled_pops`` are accumulated
+        in locals and flushed on every exit path (including exceptions),
+        so they are exact whenever ``run()`` is not on the stack -- the
+        only place anything reads them.
+        """
+        executed = 0
+        dead = 0
+        pop = heappop
+        try:
+            cur = self._cur
+            while True:
+                while cur:
+                    if self._stop_requested:
+                        return
+                    handle = pop(cur)
+                    callback = handle[3]
+                    if callback is None:
+                        dead += 1
+                        continue
+                    self.now = handle[0]
+                    args = handle[4]
+                    handle[3] = None
+                    handle[4] = None
+                    handle[5] = None
+                    executed += 1
+                    callback(*args)
+                    # Callbacks may advance the calendar via peek(); re-read.
+                    cur = self._cur
+                if not self._advance_bucket():
+                    return
+                cur = self._cur
+        finally:
+            self.events_executed += executed
+            self._live -= executed
+            self.cancelled_pops += dead
+
+    def _run_checked(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> None:
+        """Dispatch loop with until/max_events/profiler support."""
+        executed = 0
+        profiled = self._profile
+        while not self._stop_requested:
+            nxt = self.peek()
+            if nxt is None:
+                return
+            if until is not None and nxt > until:
+                return
+            handle = heappop(self._cur)
+            self.now = handle[0]
+            callback = handle[3]
+            args = handle[4]
+            handle[3] = None
+            handle[4] = None
+            handle[5] = None
+            self._live -= 1
+            self.events_executed += 1
+            if profiled:
+                self._dispatch_profiled(callback, args)
+            else:
+                callback(*args)
+            if max_events is not None:
                 executed += 1
-                if max_events is not None and executed >= max_events:
+                if executed >= max_events:
                     nxt_live = self.peek()
                     if nxt_live is not None and (until is None or nxt_live <= until):
                         raise RuntimeError(
                             f"simulation exceeded max_events={max_events}; "
                             "likely livelock"
                         )
-                    break
-            if until is not None and self.now < until:
-                self.now = until
-        finally:
-            self._running = False
-        return self.now
+                    return
 
     def run_until_idle(self, max_events: Optional[int] = None) -> float:
         """Run until no events remain.  Alias of ``run(until=None)``."""
@@ -322,15 +652,33 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) entries in the heap."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of live (non-cancelled) pending entries.
+
+        O(1) in the queue tiers (a maintained counter); parked wheel
+        timers are folded in by a scan so that arming/cancelling timers
+        never pays for this introspection counter.
+        """
+        live = self._live
+        for entry in self._wheel.values():
+            for handle in entry[2]:
+                if handle[3] is not None:
+                    live += 1
+        return live
 
     def peek(self) -> Optional[float]:
-        """Time of the next live event, or None if the heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            self.cancelled_pops += 1
-        return self._heap[0].time if self._heap else None
+        """Time of the next live event, or None if idle."""
+        cur = self._cur
+        while True:
+            while cur:
+                head = cur[0]
+                if head[3] is None:
+                    heappop(cur)
+                    self.cancelled_pops += 1
+                    continue
+                return head[0]
+            if not self._advance_bucket():
+                return None
+            cur = self._cur
 
     def process(self, generator: Iterable) -> "Process":
         """Convenience: wrap a generator into a running :class:`Process`."""
@@ -351,4 +699,4 @@ class Simulator:
         return SimEvent(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator t={self.now:.3f} pending={len(self._heap)}>"
+        return f"<Simulator t={self.now:.3f} pending={self._live}>"

@@ -2,9 +2,17 @@
 
 Everything a :class:`~repro.sim.process.Process` can ``yield`` is defined
 here (plus ``Process`` itself, which is also waitable).  The protocol is
-tiny: a waitable exposes ``_subscribe(process)`` which arranges for
-``process._resume(value)`` (or ``process._throw(exc)``) to be called exactly
+tiny: a waitable exposes ``_subscribe(handle)`` which arranges for
+``handle._resume(value)`` (or ``handle._throw(exc)``) to be called exactly
 once when the waitable fires.
+
+Abandonment protocol (the lost-wakeup fix): the handle a process waits
+through records what it subscribed to, and tearing a wait down on
+interrupt/kill *actively* releases it -- pending timers are cancelled,
+event subscriptions removed, and a value already in flight to the dead
+waiter is handed back to its owner (``Store`` re-queues the item,
+``Resource`` re-releases the unit) instead of vanishing.  See
+``docs/engine.md`` for the full semantics.
 """
 
 from __future__ import annotations
@@ -28,6 +36,46 @@ class Interrupted(Exception):
         self.cause = cause
 
 
+def _attach_abandon_hook(handle: Any, hook: Callable[[], None]) -> None:
+    """Register a teardown callable to run if ``handle`` is abandoned."""
+    hooks = getattr(handle, "hooks", None)
+    if hooks is not None:
+        hooks.append(hook)
+    else:
+        try:
+            handle.hooks = [hook]
+        except AttributeError:  # bare test double without the slot
+            pass
+
+
+def _noop_disposer() -> None:
+    pass
+
+
+def _dispose_event_sub(ev: "SimEvent", cb: Callable) -> None:
+    """Tear down one combinator subscription to ``ev``.
+
+    Mirrors :meth:`SimEvent._waiter_abandoned`: an untriggered event is
+    simply unsubscribed -- and its owner (Store/Resource) told to purge
+    the queued claim, so a later ``put``/``release`` goes to a live
+    waiter instead of a disposed subscription.  An event that already
+    fired hands its value back through the owner's one-shot ``_salvage``
+    so an item or capacity grant in flight to a losing/abandoned
+    combinator branch is reclaimed, never lost.
+    """
+    if ev._triggered:
+        salvage = ev._salvage
+        if salvage is not None and ev._exception is None:
+            ev._salvage = None
+            salvage(ev._value)
+        return
+    ev.remove_callback(cb)
+    hook = ev.abandon_hook
+    if hook is not None:
+        ev.abandon_hook = None
+        hook(ev)
+
+
 class Timeout:
     """Waitable that fires after a fixed simulated delay.
 
@@ -43,8 +91,14 @@ class Timeout:
         self.delay = delay
         self.value = value if value is not None else delay
 
-    def _subscribe(self, process: "Process") -> None:
-        process.sim.schedule(self.delay, process._resume, self.value)
+    def _subscribe(self, handle: Any) -> None:
+        timer = handle.sim.schedule(self.delay, handle._resume, self.value)
+        try:
+            # Remember the engine handle so abandoning the wait cancels the
+            # timer outright instead of letting it fire into a dead flag.
+            handle.timer = timer
+        except AttributeError:  # bare test double without the slot
+            pass
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Timeout({self.delay})"
@@ -56,17 +110,42 @@ class SimEvent(Generic[T]):
     Unlike a callback list, a ``SimEvent`` remembers its outcome, so a
     process that waits *after* the event fired resumes immediately at the
     current instant (with high priority, preserving causality).
+
+    Two owner hooks support the abandonment protocol:
+
+    * ``abandon_hook`` -- called with the event when its (sole) waiter
+      abandons *before* the event fires; ``Store``/``Resource`` use it to
+      purge the event from their wait queues.
+    * ``_salvage`` -- called with the fired value when the waiter
+      abandons *after* the event fired but before delivery landed (the
+      value is in flight to a dead handle); owners reclaim it so items
+      and capacity units are never lost to interrupt/kill races.
     """
 
-    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_exception", "name")
+    __slots__ = (
+        "sim",
+        "_callbacks",
+        "_triggered",
+        "_value",
+        "_exception",
+        "name",
+        "_salvage",
+        "abandon_hook",
+    )
 
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._callbacks: List[Callable[[Any, Optional[BaseException]], None]] = []
+        # Lazy: most events fire with exactly zero or one waiter, so the
+        # list is only materialized when someone actually subscribes.
+        self._callbacks: Optional[
+            List[Callable[[Any, Optional[BaseException]], None]]
+        ] = None
         self._triggered = False
         self._value: Any = None
         self._exception: Optional[BaseException] = None
+        self._salvage: Optional[Callable[[Any], None]] = None
+        self.abandon_hook: Optional[Callable[["SimEvent"], None]] = None
 
     # -- firing --------------------------------------------------------
     @property
@@ -102,13 +181,17 @@ class SimEvent(Generic[T]):
         return self
 
     def _dispatch(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
+        callbacks = self._callbacks
+        if callbacks is None:
+            return
+        self._callbacks = None
+        schedule = self.sim.schedule
+        value = self._value
+        exception = self._exception
         for cb in callbacks:
             # Deliver at the current instant but before ordinary events so
             # that a waiter observes the world exactly as the firer left it.
-            self.sim.schedule(
-                0.0, cb, self._value, self._exception, priority=PRIORITY_HIGH
-            )
+            schedule(0.0, cb, value, exception, priority=PRIORITY_HIGH)
 
     # -- waiting -------------------------------------------------------
     def add_callback(
@@ -123,17 +206,58 @@ class SimEvent(Generic[T]):
                 self._exception,
                 priority=PRIORITY_HIGH,
             )
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
-    def _subscribe(self, process: "Process") -> None:
-        def deliver(value: Any, exc: Optional[BaseException]) -> None:
-            if exc is not None:
-                process._throw(exc)
-            else:
-                process._resume(value)
+    def remove_callback(
+        self, callback: Callable[[Any, Optional[BaseException]], None]
+    ) -> None:
+        """Unsubscribe ``callback``; no-op if absent or already dispatched."""
+        callbacks = self._callbacks
+        if callbacks is not None:
+            try:
+                callbacks.remove(callback)
+            except ValueError:
+                pass
 
-        self.add_callback(deliver)
+    def _subscribe(self, handle: Any) -> None:
+        deliver = handle._deliver
+        if self._triggered:
+            self.sim.schedule(
+                0.0, deliver, self._value, self._exception, priority=PRIORITY_HIGH
+            )
+        elif self._callbacks is None:
+            self._callbacks = [deliver]
+        else:
+            self._callbacks.append(deliver)
+        try:
+            handle.event = self
+        except AttributeError:  # bare test double without the slot
+            pass
+
+    def _waiter_abandoned(self, handle: Any) -> None:
+        """The handle subscribed via ``_subscribe`` was abandoned."""
+        if self._triggered:
+            # Delivery is in flight to a dead waiter: hand the value back
+            # to the owner (once) so it isn't lost.  Failures need no
+            # salvage -- there is no item or capacity unit in an exception.
+            salvage = self._salvage
+            if salvage is not None and self._exception is None:
+                self._salvage = None
+                salvage(self._value)
+            return
+        callbacks = self._callbacks
+        if callbacks is not None:
+            try:
+                callbacks.remove(handle._deliver)
+            except ValueError:
+                pass
+        hook = self.abandon_hook
+        if hook is not None:
+            self.abandon_hook = None
+            hook(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "fired" if self._triggered else "pending"
@@ -143,9 +267,13 @@ class SimEvent(Generic[T]):
 class AnyOf:
     """Waitable combinator: resumes when the *first* child fires.
 
-    The resume value is ``(index, value)`` of the winning child.  Losing
-    children are left pending (one-shot events may still be consumed by
-    other waiters).  Failure of the winning child propagates.
+    The resume value is ``(index, value)`` of the winning child.  When the
+    winner fires, the losing subscriptions are torn down: a losing
+    ``Timeout``'s engine timer is cancelled (it previously lingered as an
+    uncancellable heap entry keeping ``run_until_idle`` alive) and losing
+    event callbacks are removed.  One-shot events themselves are left
+    un-fired and may still be consumed by other waiters.  Failure of the
+    winning child propagates.
     """
 
     def __init__(self, children: Iterable[Any]) -> None:
@@ -153,63 +281,117 @@ class AnyOf:
         if not self.children:
             raise ValueError("AnyOf needs at least one child")
 
-    def _subscribe(self, process: "Process") -> None:
-        done = {"fired": False}
+    def _subscribe(self, handle: Any) -> None:
+        sim = handle.sim
+        state = {"fired": False}
+        disposers: List[Callable[[], None]] = []
+
+        def dispose() -> None:
+            for d in disposers:
+                d()
+            disposers.clear()
 
         def make_deliver(index: int) -> Callable[[Any, Optional[BaseException]], None]:
             def deliver(value: Any, exc: Optional[BaseException]) -> None:
-                if done["fired"]:
+                if state["fired"]:
                     return
-                done["fired"] = True
+                state["fired"] = True
+                # The winner's own value is being delivered to the
+                # process: neutralize its disposer so it isn't salvaged
+                # back to its owner as well (double delivery).
+                disposers[index] = _noop_disposer
+                dispose()
                 if exc is not None:
-                    process._throw(exc)
+                    handle._throw(exc)
                 else:
-                    process._resume((index, value))
+                    handle._resume((index, value))
 
             return deliver
 
         for i, child in enumerate(self.children):
-            _as_event(process.sim, child).add_callback(make_deliver(i))
+            deliver = make_deliver(i)
+            if isinstance(child, Timeout):
+                # Subscribe the timeout directly as a cancellable timer
+                # instead of wrapping it in an un-cancellable SimEvent.
+                timer = sim.schedule(child.delay, deliver, child.value, None)
+                disposers.append(timer.cancel)
+            else:
+                ev = _as_event(sim, child)
+                ev.add_callback(deliver)
+                disposers.append(lambda ev=ev, cb=deliver: _dispose_event_sub(ev, cb))
+        # If the waiting process is interrupted/killed, tear everything down.
+        _attach_abandon_hook(handle, dispose)
 
 
 class AllOf:
     """Waitable combinator: resumes when *all* children have fired.
 
     The resume value is the list of child values in order.  The first
-    failure wins and is raised in the waiting process.
+    failure wins and is raised in the waiting process; the remaining
+    subscriptions are torn down (pending ``Timeout`` timers cancelled)
+    rather than left to fire into a dead wait.
     """
 
     def __init__(self, children: Iterable[Any]) -> None:
         self.children = list(children)
 
-    def _subscribe(self, process: "Process") -> None:
-        remaining = {"count": len(self.children), "failed": False}
-        values: List[Any] = [None] * len(self.children)
-        if remaining["count"] == 0:
-            process.sim.schedule(0.0, process._resume, [], priority=PRIORITY_HIGH)
+    def _subscribe(self, handle: Any) -> None:
+        sim = handle.sim
+        count = len(self.children)
+        if count == 0:
+            sim.schedule(0.0, handle._resume, [], priority=PRIORITY_HIGH)
             return
+        state = {"count": count, "failed": False}
+        values: List[Any] = [None] * count
+        disposers: List[Callable[[], None]] = []
+
+        def dispose() -> None:
+            for d in disposers:
+                d()
+            disposers.clear()
 
         def make_deliver(index: int) -> Callable[[Any, Optional[BaseException]], None]:
             def deliver(value: Any, exc: Optional[BaseException]) -> None:
-                if remaining["failed"]:
+                if state["failed"]:
                     return
                 if exc is not None:
-                    remaining["failed"] = True
-                    process._throw(exc)
+                    state["failed"] = True
+                    disposers[index] = _noop_disposer
+                    dispose()
+                    handle._throw(exc)
                     return
                 values[index] = value
-                remaining["count"] -= 1
-                if remaining["count"] == 0:
-                    process._resume(values)
+                state["count"] -= 1
+                if state["count"] == 0:
+                    handle._resume(values)
 
             return deliver
 
         for i, child in enumerate(self.children):
-            _as_event(process.sim, child).add_callback(make_deliver(i))
+            deliver = make_deliver(i)
+            if isinstance(child, Timeout):
+                timer = sim.schedule(child.delay, deliver, child.value, None)
+                disposers.append(timer.cancel)
+            else:
+                ev = _as_event(sim, child)
+                ev.add_callback(deliver)
+                # _dispose_event_sub (not plain remove_callback): a child
+                # that already delivered its value into ``values`` has
+                # that value salvaged back to its owner when the wait
+                # dies -- an AllOf that collected a Resource grant and
+                # then failed must not leak the grant.
+                disposers.append(lambda ev=ev, cb=deliver: _dispose_event_sub(ev, cb))
+        _attach_abandon_hook(handle, dispose)
 
 
 def _as_event(sim: Simulator, waitable: Any) -> SimEvent:
-    """Adapt any waitable into a SimEvent (for the combinators)."""
+    """Adapt any waitable into a SimEvent (for the combinators).
+
+    Note: adapting a ``Timeout`` schedules an un-cancellable ``succeed``;
+    the combinators therefore special-case timeouts and subscribe them as
+    cancellable timers directly -- this adapter is kept for events,
+    processes, and external callers.
+    """
     from repro.sim.process import Process
 
     if isinstance(waitable, SimEvent):
@@ -231,6 +413,11 @@ class Store(Generic[T]):
     immediately while below capacity (and raises when a bounded store
     overflows -- hardware queues in GM are flow-controlled by tokens, so an
     overflow is a protocol bug we want to surface loudly, not mask).
+
+    Interrupt/kill safe: a getter whose process dies while blocked is
+    purged from the wait queue, and an item already handed to a dying
+    getter is reclaimed -- re-delivered to the next live getter or put
+    back at the head of the queue.  Items are never silently lost.
     """
 
     def __init__(
@@ -243,6 +430,7 @@ class Store(Generic[T]):
         self.capacity = capacity
         self._items: Deque[T] = deque()
         self._getters: Deque[SimEvent] = deque()
+        self._get_name = f"get:{name}"
         #: Deepest backlog seen; a queue-depth high-water mark for metrics.
         self.max_depth = 0
 
@@ -271,10 +459,12 @@ class Store(Generic[T]):
 
     def get(self) -> SimEvent[T]:
         """Return a waitable that yields the next item (FIFO)."""
-        ev: SimEvent[T] = SimEvent(self.sim, name=f"get:{self.name}")
+        ev: SimEvent[T] = SimEvent(self.sim, name=self._get_name)
+        ev._salvage = self._reclaim
         if self._items:
             ev.succeed(self._items.popleft())
         else:
+            ev.abandon_hook = self._purge_getter
             self._getters.append(ev)
         return ev
 
@@ -287,6 +477,28 @@ class Store(Generic[T]):
     def peek(self) -> Optional[T]:
         """The next item without consuming it."""
         return self._items[0] if self._items else None
+
+    # -- abandonment protocol ------------------------------------------
+    def _purge_getter(self, ev: SimEvent) -> None:
+        """A blocked getter's process died before any item arrived."""
+        try:
+            self._getters.remove(ev)
+        except ValueError:  # pragma: no cover - already delivered/purged
+            pass
+
+    def _reclaim(self, item: T) -> None:
+        """An item was in flight to a getter that died: re-deliver it.
+
+        The lost delivery was the oldest claim on the queue, so the item
+        goes to the next blocked getter, or back to the *head* of the
+        item queue ahead of anything enqueued since.
+        """
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return
+        self._items.appendleft(item)
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
 
 
 class Resource:
@@ -304,6 +516,11 @@ class Resource:
     or with the helper ``use`` generator::
 
         yield from resource.use(duration)
+
+    Interrupt/kill safe: a requester that dies while queued is purged,
+    and a capacity unit already granted to a dying requester is released
+    back (handed to the next waiter) -- capacity can neither leak nor be
+    double-released by an interrupted ``use``.
     """
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
@@ -314,6 +531,7 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[SimEvent] = deque()
+        self._req_name = f"req:{name}"
         #: Cumulative busy time integral for utilization accounting.
         self._busy_time = 0.0
         self._last_change = sim.now
@@ -349,12 +567,14 @@ class Resource:
 
     def request(self) -> SimEvent[None]:
         """Return a waitable granted when a unit of capacity is free."""
-        ev: SimEvent[None] = SimEvent(self.sim, name=f"req:{self.name}")
+        ev: SimEvent[None] = SimEvent(self.sim, name=self._req_name)
+        ev._salvage = self._reclaim_grant
         if self._in_use < self.capacity and not self._waiters:
             self._account()
             self._in_use += 1
             ev.succeed(None)
         else:
+            ev.abandon_hook = self._purge_request
             self._waiters.append(ev)
         return ev
 
@@ -370,10 +590,37 @@ class Resource:
             self._account()
             self._in_use -= 1
 
-    def use(self, duration: float):
-        """Generator helper: acquire, hold ``duration`` us, release."""
-        yield self.request()
+    # -- abandonment protocol ------------------------------------------
+    def _purge_request(self, ev: SimEvent) -> None:
+        """A queued requester's process died before being granted."""
         try:
+            self._waiters.remove(ev)
+        except ValueError:  # pragma: no cover - already granted/purged
+            pass
+
+    def _reclaim_grant(self, _value: None) -> None:
+        """A unit was in flight to a requester that died: release it.
+
+        The grant kept the unit accounted in ``_in_use`` (direct handoff
+        never decrements), so reclaiming is exactly a ``release``: the
+        unit goes to the next waiter or back to the free pool.
+        """
+        self.release()
+
+    def use(self, duration: float):
+        """Generator helper: acquire, hold ``duration`` us, release.
+
+        Releases only what it acquired: if the process is interrupted or
+        killed while still blocked in the request, the grant never
+        arrived here, and nothing is released (a grant in flight is
+        reclaimed by the abandonment protocol instead).
+        """
+        request = self.request()
+        acquired = False
+        try:
+            yield request
+            acquired = True
             yield Timeout(duration)
         finally:
-            self.release()
+            if acquired:
+                self.release()

@@ -9,14 +9,18 @@ process and fires its ``completion_event`` with that value.
 Stale-wakeup safety: every suspension gets a fresh *wait handle*.  If the
 process is interrupted (or killed) while suspended, the abandoned handle is
 invalidated, so a Timeout or SimEvent that fires later cannot resume the
-process into the wrong wait.
+process into the wrong wait.  Abandonment is *active*, not just a dead
+flag: the handle cancels its pending timer, unsubscribes from its event,
+and tells the event's owner (Store/Resource) so an in-flight delivery is
+reclaimed rather than lost -- see ``docs/engine.md`` for the full
+cancellation semantics.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator, List, Optional
 
-from repro.sim.engine import PRIORITY_HIGH, Simulator
+from repro.sim.engine import PRIORITY_HIGH, EventHandle, Simulator
 from repro.sim.primitives import AllOf, AnyOf, Interrupted, SimEvent, Timeout
 
 
@@ -31,14 +35,29 @@ class _WaitHandle:
     expects from a process, but delivers only while it is the process's
     *current* wait.  This makes abandoned waits (after interrupt/kill)
     harmless.
+
+    The handle also records *how to tear the wait down* so abandonment
+    can release engine resources instead of leaving them to fire into a
+    dead flag:
+
+    * ``timer`` -- the engine handle of a pending ``Timeout``, cancelled
+      on abandon so it never even reaches dispatch;
+    * ``event`` -- the ``SimEvent`` subscribed to, notified via
+      ``_waiter_abandoned`` so it can unsubscribe us or salvage a value
+      already in flight (the Store/Resource lost-wakeup fix);
+    * ``hooks`` -- teardown callables registered by combinators
+      (``AnyOf``/``AllOf``) to cancel their children's subscriptions.
     """
 
-    __slots__ = ("process", "sim", "active")
+    __slots__ = ("process", "sim", "active", "timer", "event", "hooks")
 
     def __init__(self, process: "Process") -> None:
         self.process = process
         self.sim = process.sim
         self.active = True
+        self.timer: Optional[EventHandle] = None
+        self.event: Optional[SimEvent] = None
+        self.hooks: Optional[List] = None
 
     def _resume(self, value: Any) -> None:
         if self.active:
@@ -49,6 +68,32 @@ class _WaitHandle:
         if self.active:
             self.active = False
             self.process._advance(None, exc)
+
+    def _deliver(self, value: Any, exc: Optional[BaseException]) -> None:
+        """SimEvent-callback form of resume/throw (pre-bound, no closure)."""
+        if self.active:
+            self.active = False
+            if exc is not None:
+                self.process._advance(None, exc)
+            else:
+                self.process._advance(value, None)
+
+    def abandon(self) -> None:
+        """Deactivate and tear down whatever this wait subscribed to."""
+        self.active = False
+        timer = self.timer
+        if timer is not None:
+            self.timer = None
+            timer.cancel()
+        event = self.event
+        if event is not None:
+            self.event = None
+            event._waiter_abandoned(self)
+        hooks = self.hooks
+        if hooks is not None:
+            self.hooks = None
+            for hook in hooks:
+                hook()
 
 
 class Process:
@@ -99,7 +144,14 @@ class Process:
         """Step the generator once with a value or an exception."""
         if not self.alive:
             return
+        wait = self._current_wait
         self._current_wait = None
+        if wait is not None and wait.active:
+            # An interrupt/kill was scheduled before the process suspended,
+            # so this exception lands while a fresh wait is subscribed:
+            # tear that wait down or its waitable could fire later and
+            # resume the generator into the wrong yield.
+            wait.abandon()
         try:
             if exc is not None:
                 waitable = self._generator.throw(exc)
@@ -151,14 +203,17 @@ class Process:
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupted` into the process at this instant.
 
-        The interrupted wait is abandoned: if its waitable fires later, the
-        stale wakeup is discarded.
+        The interrupted wait is abandoned: its timer is cancelled, its
+        event subscription removed, and a value already in flight to it
+        is handed back to its owner (see ``_WaitHandle.abandon``) -- so a
+        stale wakeup can neither resume the process nor lose an item.
         """
         if not self.alive:
             return
-        if self._current_wait is not None:
-            self._current_wait.active = False
+        wait = self._current_wait
+        if wait is not None:
             self._current_wait = None
+            wait.abandon()
         self.sim.schedule(
             0.0, self._advance, None, Interrupted(cause), priority=PRIORITY_HIGH
         )
@@ -168,9 +223,10 @@ class Process:
         if not self.alive or self._killed:
             return
         self._killed = True
-        if self._current_wait is not None:
-            self._current_wait.active = False
+        wait = self._current_wait
+        if wait is not None:
             self._current_wait = None
+            wait.abandon()
         self.sim.schedule(
             0.0, self._advance, None, ProcessKilled(), priority=PRIORITY_HIGH
         )
