@@ -1,0 +1,102 @@
+"""Non-blocking Ibarrier overlap bench -- the measured successor of
+``examples/fuzzy_barrier_overlap.py``.
+
+Sweeps compute interval x entry skew through the campaign layer
+(:func:`repro.analysis.nbc_overlap.run_nbc_sweep`), records the achieved
+communication/computation overlap percentage per cell into
+``BENCH_nbc.json``, and gates on the acceptance criteria:
+
+* every cell's overlap % is strictly greater than the blocking
+  baseline's (which is 0 by construction -- blocking mode waits
+  immediately, hiding nothing);
+* warm-cache calls compile zero schedules: after the first iteration of
+  a cell every ``ibarrier`` is a schedule-cache hit.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.calibration import LANAI_4_3_SYSTEM
+from repro.analysis.nbc_overlap import run_nbc_sweep, write_nbc_bench
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_nbc.json"
+
+#: Sweep axes: compute available per iteration x max entry skew.
+COMPUTE_GRID = (20.0, 60.0, 120.0)
+SKEW_GRID = (0.0, 50.0)
+NODES = 8
+ITERATIONS = 8
+
+
+class TestNbcOverlap:
+    def test_overlap_sweep(self, benchmark):
+        state = {}
+
+        def run():
+            measurements, result = run_nbc_sweep(
+                LANAI_4_3_SYSTEM.cluster_config(NODES),
+                compute_grid=COMPUTE_GRID,
+                skew_grid=SKEW_GRID,
+                iterations=ITERATIONS,
+            )
+            state["measurements"] = measurements
+            state["result"] = result
+            return measurements
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+        measurements = state["measurements"]
+
+        emit(
+            f"Ibarrier overlap vs compute interval and skew "
+            f"({NODES} nodes, LANai 4.3)",
+            ["compute us", "skew us", "blocking us", "overlapped us",
+             "overlap %", "saved/iter us"],
+            [
+                [m.compute_us, m.skew_max_us,
+                 round(m.blocking_total_us, 1),
+                 round(m.overlapped_total_us, 1),
+                 round(m.overlap_pct, 1),
+                 round(m.saved_us_per_iter, 2)]
+                for m in measurements
+            ],
+        )
+
+        write_nbc_bench(BENCH_PATH, measurements, state["result"])
+        doc = json.loads(BENCH_PATH.read_text())
+        assert len(doc["rows"]) == len(COMPUTE_GRID) * len(SKEW_GRID)
+
+        for m in measurements:
+            # The acceptance gate: overlap strictly beats the blocking
+            # baseline (0% by construction) in every cell.
+            assert m.overlap_pct > 0.0, m
+            # Overlap can never hide more than the whole communication.
+            assert m.overlap_pct <= 100.0 + 1e-9, m
+            # Warm cache: one compile for the whole cell, the rest hits.
+            assert m.cache["compiles"] == 1, m.cache
+            assert m.cache["hits"] == ITERATIONS - 1, m.cache
+
+        # More compute to hide behind => at least as much overlap
+        # (monotone along the zero-skew compute axis, with slack for
+        # chunk-quantization noise).
+        zero_skew = sorted(
+            (m for m in measurements if m.skew_max_us == 0.0),
+            key=lambda m: m.compute_us,
+        )
+        for small, big in zip(zero_skew, zero_skew[1:]):
+            assert big.overlap_pct >= small.overlap_pct * 0.9, (small, big)
+
+    def test_overlap_survives_skew(self):
+        """The skew-sensitivity dimension: entry skew must not erase
+        the overlap win (late arrivals shrink but do not zero the
+        window in which early ranks hide communication)."""
+        measurements, _ = run_nbc_sweep(
+            LANAI_4_3_SYSTEM.cluster_config(NODES),
+            compute_grid=(60.0,),
+            skew_grid=(0.0, 50.0, 100.0),
+            iterations=6,
+        )
+        for m in measurements:
+            assert m.overlap_pct > 0.0, m

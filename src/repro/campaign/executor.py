@@ -93,6 +93,19 @@ def _execute_job_payload(job: dict) -> dict:
                 critical_path=params.get("critical_path", False),
             )
             value = measurement.to_dict()
+        elif kind == "nbc_overlap":
+            from repro.analysis.nbc_overlap import measure_nbc_overlap
+            from repro.campaign.serialize import cluster_config_from_dict
+
+            config = cluster_config_from_dict(job["config"])
+            value = measure_nbc_overlap(
+                config,
+                iterations=params.get("iterations", 10),
+                compute_us=params.get("compute_us", 60.0),
+                chunk_us=params.get("chunk_us", 5.0),
+                skew_max_us=params.get("skew_max_us", 0.0),
+                max_events=params.get("max_events"),
+            ).to_dict()
         elif kind == "soak":
             from repro.faults.soak import run_soak_combo
             from repro.gm.constants import BarrierReliability

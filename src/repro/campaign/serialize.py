@@ -41,8 +41,9 @@ from repro.nic.nic import NicParams
 #: Version salt folded into every cache key.  Bump whenever a change to
 #: the simulator alters what any measurement would produce -- cached
 #: results from older code then simply stop matching.
-CODE_VERSION = "campaign-v2"  # v2: trace-context propagation + the
-# critical_path measurement param entered the job schema
+CODE_VERSION = "campaign-v3"  # v3: non-blocking collectives -- the
+# nbc_overlap job kind entered the schema and the MPI layer's message
+# machinery changed underneath existing measurements
 
 #: Known cards, so configs can name a model instead of inlining its
 #: whole cycle table.

@@ -43,6 +43,16 @@ MEASURE_KEYS = (
     "critical_path",
 )
 
+#: Point keys for the non-blocking overlap harness
+#: (:func:`repro.analysis.nbc_overlap.measure_nbc_overlap`).
+NBC_MEASURE_KEYS = (
+    "iterations",
+    "compute_us",
+    "chunk_us",
+    "skew_max_us",
+    "max_events",
+)
+
 #: Defaults matching :mod:`repro.analysis.experiments`.
 DEFAULT_REPETITIONS = 12
 DEFAULT_WARMUP = 3
@@ -55,7 +65,9 @@ class JobSpec:
 
     ``kind`` selects the worker entry point (``"measure"`` runs
     :func:`repro.analysis.experiments.measure_barrier`; ``"soak"`` runs
-    one chaos-soak combination).  ``config`` is the serialized cluster
+    one chaos-soak combination; ``"nbc_overlap"`` runs
+    :func:`repro.analysis.nbc_overlap.measure_nbc_overlap`).  ``config``
+    is the serialized cluster
     config, ``params`` the kind-specific parameters; both are plain
     JSON-able dicts so the job can cross a process boundary and be
     content-hashed.  ``tag`` is a human label for logs and reports and
@@ -101,9 +113,26 @@ def _measure_tag(name: str, config: dict, params: dict) -> str:
     return tag
 
 
+def _nbc_tag(name: str, config: dict, params: dict) -> str:
+    """Stable human-readable label for an overlap-measurement job."""
+    tag = f"{name}/{config['lanai_model']['name']}/n{config['num_nodes']}"
+    tag += f"/c{params['compute_us']:g}-k{params['skew_max_us']:g}"
+    if config.get("seed"):
+        tag += f"/s{config['seed']}"
+    return tag
+
+
 @dataclass
 class CampaignSpec:
-    """A declarative sweep; see the module docstring for semantics."""
+    """A declarative sweep; see the module docstring for semantics.
+
+    ``kind`` selects what each point measures: ``"measure"`` (the
+    default) runs the blocking-barrier latency harness; ``"nbc_overlap"``
+    runs the non-blocking communication/computation overlap harness,
+    whose points carry :data:`NBC_MEASURE_KEYS` (``iterations``,
+    ``compute_us``, ``chunk_us``, ``skew_max_us``) instead of the
+    barrier measurement keys.
+    """
 
     name: str = "campaign"
     #: Serialized ClusterConfig the points start from (partial is fine).
@@ -122,6 +151,9 @@ class CampaignSpec:
     #: Attach a critical-path summary to every measurement (one extra
     #: traced barrier per job; see :mod:`repro.analysis.critical_path`).
     critical_path: bool = False
+    #: Job kind every point compiles to: "measure" (blocking-barrier
+    #: latency) or "nbc_overlap" (non-blocking overlap harness).
+    kind: str = "measure"
 
     # -- config round-trip ------------------------------------------------
     def to_dict(self) -> dict:
@@ -152,6 +184,10 @@ class CampaignSpec:
         """Resolve every point into an executable, hashable job."""
         from repro.faults.plan import FaultPlan  # lazy: avoids pkg cycle
 
+        if self.kind == "nbc_overlap":
+            return self._compile_nbc(FaultPlan)
+        if self.kind != "measure":
+            raise ValueError(f"unknown campaign kind {self.kind!r}")
         jobs: List[JobSpec] = []
         for point in self.expand_points():
             unknown = (
@@ -196,6 +232,51 @@ class CampaignSpec:
                     config=resolved,
                     params=params,
                     tag=_measure_tag(self.name, resolved, params),
+                )
+            )
+        return jobs
+
+    def _compile_nbc(self, fault_plan_cls) -> List[JobSpec]:
+        """Resolve every point into an ``nbc_overlap`` job."""
+        jobs: List[JobSpec] = []
+        for point in self.expand_points():
+            unknown = (
+                set(point)
+                - set(NBC_MEASURE_KEYS)
+                - {"lanai_model", "host_params", "nic_params", "net_params",
+                   "topology", "fault_plan", "num_nodes", "seed", "trace",
+                   "metrics", "profile"}
+            )
+            if unknown:
+                raise ValueError(
+                    f"campaign {self.name!r}: unknown nbc point keys "
+                    f"{sorted(unknown)}"
+                )
+            params = {
+                "iterations": int(point.get("iterations", self.repetitions)),
+                "compute_us": float(point.get("compute_us", 60.0)),
+                "chunk_us": float(point.get("chunk_us", 5.0)),
+                "skew_max_us": float(point.get("skew_max_us", self.skew_max_us)),
+                "max_events": point.get("max_events", self.max_events),
+            }
+            config_dict = dict(self.base_config)
+            config_dict.update(
+                {k: v for k, v in point.items() if k not in NBC_MEASURE_KEYS}
+            )
+            config = cluster_config_from_dict(config_dict)
+            if self.fault_seed is not None and config.fault_plan is None:
+                config = config.with_(
+                    fault_plan=fault_plan_cls.random(
+                        self.fault_seed, config.num_nodes
+                    )
+                )
+            resolved = cluster_config_to_dict(config)
+            jobs.append(
+                JobSpec(
+                    kind="nbc_overlap",
+                    config=resolved,
+                    params=params,
+                    tag=_nbc_tag(self.name, resolved, params),
                 )
             )
         return jobs

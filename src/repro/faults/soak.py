@@ -30,12 +30,20 @@ from repro.gm.constants import BarrierReliability
 from repro.nic.nic import NicParams
 
 #: (label, nic_based, algorithm) -- every barrier flavour the repo has.
+#: ``nbc-ibarrier`` is the non-blocking schedule engine's dissemination
+#: barrier (:mod:`repro.mpi.nbc`): its messages ride the regular
+#: reliable stream with compute overlapped between completion polls, so
+#: the soak drives the progress engine through the retransmission and
+#: fault-recovery paths.  It is listed with ``nic_based=False`` because
+#: the barrier-stream reliability mode does not apply to it (one combo,
+#: reported as "regular", like the host barriers).
 ALGORITHMS = (
     ("host-gb", False, "gb"),
     ("host-pe", False, "pe"),
     ("nic-gb", True, "gb"),
     ("nic-pe", True, "pe"),
     ("nic-dissemination", True, "dissemination"),
+    ("nbc-ibarrier", False, "nbc"),
 )
 
 #: Reliability modes worth soaking.  UNRELIABLE is excluded on purpose:
@@ -172,14 +180,34 @@ def run_soak_combo(
     exits: Dict[int, Dict[int, float]] = {r: {} for r in range(repetitions)}
     barrier_op = nic_barrier if nic_based else host_barrier
 
-    def program(ctx):
-        # A deterministic per-rank stagger so faults hit the barrier in
-        # different phases (entry, wave, exit) rather than all at once.
-        yield Timeout(float((ctx.rank * 7) % num_nodes))
-        for rep in range(repetitions):
-            enters[rep][ctx.rank] = ctx.now
-            yield from barrier_op(ctx.port, ctx.group, ctx.rank, algorithm=algorithm)
-            exits[rep][ctx.rank] = ctx.now
+    if algorithm == "nbc":
+        from repro.mpi.communicator import Communicator
+
+        def program(ctx):
+            # Non-blocking Ibarrier with compute overlapped between
+            # completion polls: the progress engine has to advance its
+            # schedule through whatever loss/corruption/flap the plan
+            # injects on the regular reliable stream.
+            yield Timeout(float((ctx.rank * 7) % num_nodes))
+            comm = Communicator(ctx.port, ctx.group, ctx.rank)
+            for rep in range(repetitions):
+                enters[rep][ctx.rank] = ctx.now
+                request = yield from comm.ibarrier()
+                for _ in range(4):
+                    yield from ctx.node.compute(10.0)
+                    yield from request.test()
+                yield from request.wait()
+                exits[rep][ctx.rank] = ctx.now
+    else:
+        def program(ctx):
+            # A deterministic per-rank stagger so faults hit the barrier
+            # in different phases (entry, wave, exit) rather than all at
+            # once.
+            yield Timeout(float((ctx.rank * 7) % num_nodes))
+            for rep in range(repetitions):
+                enters[rep][ctx.rank] = ctx.now
+                yield from barrier_op(ctx.port, ctx.group, ctx.rank, algorithm=algorithm)
+                exits[rep][ctx.rank] = ctx.now
 
     try:
         run_on_group(cluster, program, max_events=max_events)

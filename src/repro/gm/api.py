@@ -81,9 +81,16 @@ class GmPort:
         size_bytes: int = 0,
         payload: Any = None,
         callback: Optional[Callable[[SendToken], None]] = None,
+        ctx: Optional[TraceContext] = None,
     ):
         """Queue a reliable send (gm_send_with_callback).  Host generator;
-        returns the :class:`~repro.gm.tokens.SendToken`."""
+        returns the :class:`~repro.gm.tokens.SendToken`.
+
+        ``ctx`` lets a caller thread its own :class:`TraceContext`
+        through the message (schedule rounds attribute wire time to
+        their round span this way); by default each send roots a fresh
+        trace.
+        """
         self.port.require_open()
         yield from self.node.cpu_use(self.node.params.effective_send_cost_us)
         self.port.take_send_token()
@@ -94,7 +101,7 @@ class GmPort:
             size_bytes=size_bytes,
             payload=payload,
             callback=callback,
-            ctx=TraceContext.root(),
+            ctx=ctx if ctx is not None else TraceContext.root(),
         )
         self.nic.post_token(self.port_id, token)
         self.port.messages_sent += 1

@@ -15,7 +15,11 @@ the claim testable here:
   or received through the layer pays a per-message overhead
   (:class:`~repro.mpi.communicator.MpiParams`) -- so a host-based
   ``barrier`` pays the layer cost per step while the NIC-based one pays
-  it once, which is precisely the paper's argument.
+  it once, which is precisely the paper's argument;
+* :mod:`repro.mpi.nbc` adds the *non-blocking* collectives
+  (``ibarrier`` / ``ibcast`` / ``iallreduce`` returning
+  :class:`~repro.mpi.nbc.engine.Request` handles) built on compiled,
+  per-communicator-cached schedules -- see ``docs/nbc.md``.
 """
 
 from repro.mpi.communicator import (
@@ -24,5 +28,13 @@ from repro.mpi.communicator import (
     Communicator,
     MpiParams,
 )
+from repro.mpi.nbc.engine import Request, waitall
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator", "MpiParams"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "MpiParams",
+    "Request",
+    "waitall",
+]

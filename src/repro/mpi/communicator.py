@@ -19,6 +19,7 @@ from repro.core.host_barrier import host_barrier
 from repro.core.host_collectives import host_allreduce, host_bcast, host_reduce
 from repro.gm.api import GmPort
 from repro.gm.events import RecvEvent
+from repro.mpi.nbc.engine import ProgressEngine
 
 Endpoint = Tuple[int, int]
 
@@ -47,6 +48,8 @@ class MpiParams:
     recv_pool: int = 16
     #: Use the NIC-based implementations for collectives and barriers.
     nic_collectives: bool = True
+    #: Stall-watchdog period for outstanding non-blocking collectives.
+    nbc_watchdog_us: float = 2_000.0
 
     def with_(self, **changes) -> "MpiParams":
         """A copy with the given fields replaced."""
@@ -74,6 +77,8 @@ class Communicator:
         self.rank = rank
         self.params = params or MpiParams()
         self._pool_primed = False
+        #: Lazily-built non-blocking progress engine (with its cache).
+        self._nbc: Optional["ProgressEngine"] = None
 
     # ------------------------------------------------------------------
     @property
@@ -277,6 +282,73 @@ class Communicator:
             return values[root]
         payload, _, _ = yield from self.recv(root, tag)
         return payload
+
+    # ------------------------------------------------------------------
+    # Non-blocking collectives (repro.mpi.nbc)
+    # ------------------------------------------------------------------
+    @property
+    def nbc(self) -> ProgressEngine:
+        """The communicator's non-blocking progress engine (built lazily
+        with its per-communicator schedule cache on first use)."""
+        if self._nbc is None:
+            self._nbc = ProgressEngine(self)
+        return self._nbc
+
+    def ibarrier(self):
+        """MPI_Ibarrier (host generator); returns a
+        :class:`~repro.mpi.nbc.engine.Request` immediately.
+
+        The dissemination schedule's rounds then progress inside
+        ``request.test()`` / ``request.wait()`` while the caller
+        computes -- the communication/computation overlap the blocking
+        :meth:`barrier` cannot offer.
+        """
+        yield from self._charge_call()
+        request = yield from self.nbc.start_collective("ibarrier")
+        return request
+
+    def ibcast(self, value: Any = None, root: int = 0):
+        """MPI_Ibcast (host generator); returns a Request whose
+        ``wait()`` yields the root's value on every rank."""
+        yield from self._charge_call()
+        request = yield from self.nbc.start_collective(
+            "ibcast", value=value, root=root
+        )
+        return request
+
+    def iallreduce(self, value: Any, op: str = "sum"):
+        """MPI_Iallreduce (host generator); returns a Request whose
+        ``wait()`` yields the reduction over every rank's ``value``."""
+        yield from self._charge_call()
+        request = yield from self.nbc.start_collective(
+            "iallreduce", value=value, op=op
+        )
+        return request
+
+    def reconfigure(self, group: Sequence[Endpoint], rank: int) -> None:
+        """Replace the communicator's group/rank in place (the
+        MPI_Comm_split-style reshape every rank performs collectively).
+
+        Every cached schedule is compiled against the old shape, so the
+        schedule cache is invalidated and its epoch bumped -- stray
+        in-flight messages from the old group can never match a
+        post-reconfiguration schedule.  Refused while non-blocking
+        requests are outstanding (their schedules reference old ranks).
+        """
+        if self._nbc is not None and self._nbc.outstanding:
+            raise RuntimeError(
+                "cannot reconfigure with outstanding non-blocking requests"
+            )
+        if not 0 <= rank < len(group):
+            raise ValueError(f"rank {rank} out of range")
+        if self.port.endpoint != tuple(group[rank]):
+            raise ValueError(
+                f"port endpoint {self.port.endpoint} is not group[{rank}]"
+            )
+        self.group = tuple(group)
+        self.rank = rank
+        if self._nbc is not None:
+            self._nbc.cache.invalidate()
 
     # ------------------------------------------------------------------
     def _rooted(self, root: int):

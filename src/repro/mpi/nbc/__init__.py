@@ -1,0 +1,50 @@
+"""Non-blocking scheduled collectives (the libNBC idiom over GM).
+
+The subsystem splits a collective into three cleanly separated layers:
+
+* :mod:`repro.mpi.nbc.schedule` -- the compiled, data-independent IR:
+  rounds of send/recv/reduce/copy :class:`~repro.mpi.nbc.schedule.Op`
+  primitives with implicit round barriers, produced by per-collective
+  compilers (dissemination Ibarrier, binomial Ibcast, recursive-doubling
+  Iallreduce);
+* :mod:`repro.mpi.nbc.cache` -- the per-communicator
+  :class:`~repro.mpi.nbc.cache.ScheduleCache`, keyed by the canonical
+  schedule signature, with hit/miss/compile metrics and epoch-bumping
+  invalidation on communicator reconfiguration;
+* :mod:`repro.mpi.nbc.engine` -- the
+  :class:`~repro.mpi.nbc.engine.ProgressEngine` that starts schedules
+  and advances them as GM messages land, returning
+  :class:`~repro.mpi.nbc.engine.Request` handles with ``test`` /
+  ``wait`` and module-level :func:`~repro.mpi.nbc.engine.waitall`.
+
+User entry points are on the communicator itself:
+:meth:`repro.mpi.communicator.Communicator.ibarrier` / ``ibcast`` /
+``iallreduce``.  See ``docs/nbc.md`` for the design narrative.
+"""
+
+from repro.mpi.nbc.cache import CacheStats, ScheduleCache
+from repro.mpi.nbc.engine import ProgressEngine, Request, waitall
+from repro.mpi.nbc.schedule import (
+    COMPILERS,
+    Op,
+    Schedule,
+    compile_iallreduce,
+    compile_ibarrier,
+    compile_ibcast,
+    schedule_signature,
+)
+
+__all__ = [
+    "CacheStats",
+    "COMPILERS",
+    "Op",
+    "ProgressEngine",
+    "Request",
+    "Schedule",
+    "ScheduleCache",
+    "compile_iallreduce",
+    "compile_ibarrier",
+    "compile_ibcast",
+    "schedule_signature",
+    "waitall",
+]

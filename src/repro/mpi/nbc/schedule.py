@@ -1,0 +1,280 @@
+"""The schedule IR for non-blocking collectives.
+
+A *schedule* is a compiled, data-independent description of one rank's
+part in a collective: a sequence of **rounds**, each a tuple of
+:class:`Op` primitives (sends, receives, local reductions and copies),
+with an implicit barrier between rounds -- round ``r + 1`` starts only
+after every receive of round ``r`` has landed and its local ops have
+run.  This is the libNBC / libfabric ``FI_SCHEDULE`` idiom: compile the
+collective once, then progress the schedule asynchronously while the
+host computes.
+
+Data independence is what makes schedules cacheable: ops never embed
+values, they reference named *slots* in a per-request buffer table (the
+request supplies ``{"acc": value}`` at start time).  Two calls to the
+same collective on the same communicator therefore share one schedule
+object -- see :mod:`repro.mpi.nbc.cache`.
+
+Round alignment contract: every compiler here emits round numbers that
+agree across ranks -- if rank ``p`` receives from rank ``q`` in round
+``r``, then ``q`` sends to ``p`` in *its* round ``r``.  The progress
+engine matches incoming messages by ``(epoch, seq, round, source)``, so
+this invariant is what lets concurrent outstanding schedules on one
+communicator stay isolated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: The local combine operators a ``reduce`` op may name.
+REDUCE_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": max,
+    "min": min,
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """One schedule primitive.
+
+    ``kind`` selects the flavour:
+
+    * ``"send"`` -- send the value in ``slot`` (``None`` = a pure
+      notification with no payload) to rank ``peer``;
+    * ``"recv"`` -- await a message from rank ``peer``, storing its
+      payload into ``slot`` (``None`` discards it);
+    * ``"reduce"`` -- after the round's receives land, combine
+      ``dst = REDUCE_OPS[op](dst, src)``;
+    * ``"copy"`` -- after the round's receives land, ``dst = src``.
+    """
+
+    kind: str
+    peer: Optional[int] = None
+    slot: Optional[str] = None
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    op: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("send", "recv", "reduce", "copy"):
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.kind in ("send", "recv") and self.peer is None:
+            raise ValueError(f"{self.kind} op needs a peer rank")
+        if self.kind == "reduce" and self.op not in REDUCE_OPS:
+            raise ValueError(f"unknown reduce operator {self.op!r}")
+        if self.kind in ("reduce", "copy") and (
+            self.src is None or self.dst is None
+        ):
+            raise ValueError(f"{self.kind} op needs src and dst slots")
+
+
+#: A round: ops that may all be in flight concurrently.
+Round = Tuple[Op, ...]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One rank's compiled collective (immutable, hence cache-shareable).
+
+    ``signature`` is the canonical cache key the schedule was compiled
+    under (see :func:`schedule_signature`); ``result_slot`` names the
+    buffer slot holding the collective's result once every round has
+    completed (``None`` for pure synchronization).
+    """
+
+    kind: str
+    signature: tuple
+    rounds: Tuple[Round, ...]
+    result_slot: Optional[str] = None
+
+    @property
+    def num_rounds(self) -> int:
+        """Round count (the schedule's depth)."""
+        return len(self.rounds)
+
+    @property
+    def num_sends(self) -> int:
+        """Total send ops across every round."""
+        return sum(1 for r in self.rounds for op in r if op.kind == "send")
+
+    @property
+    def num_recvs(self) -> int:
+        """Total recv ops across every round."""
+        return sum(1 for r in self.rounds for op in r if op.kind == "recv")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Schedule {self.kind} rounds={self.num_rounds} "
+            f"sends={self.num_sends} recvs={self.num_recvs}>"
+        )
+
+
+def schedule_signature(
+    kind: str,
+    size: int,
+    rank: int,
+    *,
+    op: Optional[str] = None,
+    root: Optional[int] = None,
+) -> tuple:
+    """The canonical cache key for a compiled schedule.
+
+    Everything a compiler's output depends on is in the key -- and
+    nothing else (values, tags and request sequence numbers are runtime
+    state, not schedule shape).  The communicator's epoch is *not* part
+    of the signature: reconfiguration invalidates the whole cache
+    instead (see :meth:`repro.mpi.nbc.cache.ScheduleCache.invalidate`).
+    """
+    return (kind, size, rank, op, root)
+
+
+def _validate(size: int, rank: int) -> None:
+    if size < 1:
+        raise ValueError("collective group must have at least 1 rank")
+    if not 0 <= rank < size:
+        raise ValueError(f"rank {rank} out of range for size {size}")
+
+
+# ---------------------------------------------------------------------------
+# compilers
+# ---------------------------------------------------------------------------
+def compile_ibarrier(size: int, rank: int) -> Schedule:
+    """Dissemination Ibarrier (the libNBC ``NBC_Ibarrier`` shape).
+
+    Round ``k`` sends a notification to ``(rank + 2^k) mod n`` and
+    receives one from ``(rank - 2^k) mod n``; after ``ceil(log2 n)``
+    rounds this rank has transitively heard from everyone.
+    """
+    _validate(size, rank)
+    rounds = []
+    distance = 1
+    while distance < size:
+        rounds.append((
+            Op("send", peer=(rank + distance) % size),
+            Op("recv", peer=(rank - distance) % size),
+        ))
+        distance *= 2
+    return Schedule(
+        kind="ibarrier",
+        signature=schedule_signature("ibarrier", size, rank),
+        rounds=tuple(rounds),
+    )
+
+
+def compile_ibcast(size: int, rank: int, root: int = 0) -> Schedule:
+    """Binomial-tree Ibcast rooted at ``root``.
+
+    In round ``r`` every virtual rank below ``2^r`` forwards the value
+    to virtual rank ``+2^r``; a non-root rank with highest set bit
+    ``2^j`` therefore receives exactly once, in round ``j``, and relays
+    in every later round its subtree needs.  The result lives in slot
+    ``"val"`` (the root seeds it at request start).
+    """
+    _validate(size, rank)
+    if not 0 <= root < size:
+        raise ValueError(f"root {root} out of range for size {size}")
+    vrank = (rank - root) % size
+
+    def actual(v: int) -> int:
+        return (v + root) % size
+
+    num_rounds = 0
+    while (1 << num_rounds) < size:
+        num_rounds += 1
+    rounds = []
+    recv_round = -1 if vrank == 0 else vrank.bit_length() - 1
+    for r in range(num_rounds):
+        ops = []
+        if r == recv_round:
+            ops.append(Op("recv", peer=actual(vrank - (1 << r)), slot="val"))
+        elif r > recv_round and vrank + (1 << r) < size:
+            ops.append(Op("send", peer=actual(vrank + (1 << r)), slot="val"))
+        rounds.append(tuple(ops))
+    return Schedule(
+        kind="ibcast",
+        signature=schedule_signature("ibcast", size, rank, root=root),
+        rounds=tuple(rounds),
+        result_slot="val",
+    )
+
+
+def compile_iallreduce(size: int, rank: int, op: str = "sum") -> Schedule:
+    """Recursive-doubling Iallreduce; result in slot ``"acc"``.
+
+    Power-of-two groups run pure recursive doubling: round ``r``
+    exchanges the running accumulator with rank ``rank XOR 2^r`` and
+    folds the received value in.  Non-power-of-two groups use the
+    standard pre/post phases: the ``n - m`` *extra* ranks (``>= m``,
+    with ``m`` the largest power of two ``<= n``) first donate their
+    value to a proxy (``rank - m``), sit out the doubling, and receive
+    the final result back in the last round.
+    """
+    _validate(size, rank)
+    if op not in REDUCE_OPS:
+        raise ValueError(f"unknown reduce operator {op!r}")
+    m = 1
+    while m * 2 <= size:
+        m *= 2
+    extras = size - m
+
+    rounds = []
+    if extras:
+        # Pre-phase round 0: extras donate, proxies absorb.
+        if rank >= m:
+            ops = (Op("send", peer=rank - m, slot="acc"),)
+        elif rank + m < size:
+            ops = (
+                Op("recv", peer=rank + m, slot="pre"),
+                Op("reduce", src="pre", dst="acc", op=op),
+            )
+        else:
+            ops = ()
+        rounds.append(ops)
+
+    distance = 1
+    r_idx = 0
+    while distance < m:
+        if rank < m:
+            peer = rank ^ distance
+            slot = f"in{r_idx}"
+            rounds.append((
+                Op("send", peer=peer, slot="acc"),
+                Op("recv", peer=peer, slot=slot),
+                Op("reduce", src=slot, dst="acc", op=op),
+            ))
+        else:
+            rounds.append(())
+        distance *= 2
+        r_idx += 1
+
+    if extras:
+        # Post-phase: proxies return the result to their extra rank.
+        if rank >= m:
+            ops = (
+                Op("recv", peer=rank - m, slot="final"),
+                Op("copy", src="final", dst="acc"),
+            )
+        elif rank + m < size:
+            ops = (Op("send", peer=rank + m, slot="acc"),)
+        else:
+            ops = ()
+        rounds.append(ops)
+
+    return Schedule(
+        kind="iallreduce",
+        signature=schedule_signature("iallreduce", size, rank, op=op),
+        rounds=tuple(rounds),
+        result_slot="acc",
+    )
+
+
+#: kind -> compiler; the dispatch table the cache compiles through.
+COMPILERS: Dict[str, Callable[..., Schedule]] = {
+    "ibarrier": compile_ibarrier,
+    "ibcast": compile_ibcast,
+    "iallreduce": compile_iallreduce,
+}

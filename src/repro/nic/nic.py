@@ -142,6 +142,9 @@ class Nic:
         #: Give-up alarms raised by the reliability streams (each entry is
         #: the :class:`RetransmitLimitExceeded` that was raised).
         self.alarms: list = []
+        #: port_id -> host-event listeners (the MCP progress hook: called
+        #: synchronously, after the event lands in the port's event ring).
+        self._host_event_listeners: Dict[int, list] = {}
 
         # -- inter-machine queues ---------------------------------------------
         self.sdma_inbox: Store = Store(sim, name=f"nic{node_id}.sdma_inbox")
@@ -341,9 +344,33 @@ class Nic:
         )
 
     def post_host_event(self, port: NicPort, event: GmEvent) -> None:
-        """Queue an event into the port's host-visible event ring."""
+        """Queue an event into the port's host-visible event ring.
+
+        Registered host-event listeners for the port fire afterwards --
+        the progress hook the non-blocking schedule engine uses to track
+        liveness without polling the queue itself."""
         event.posted_at = self.sim.now
         port.event_queue.put(event)
+        listeners = self._host_event_listeners.get(port.port_id)
+        if listeners:
+            for listener in tuple(listeners):
+                listener(event)
+
+    def add_host_event_listener(self, port_id: int, listener) -> None:
+        """Register ``listener(event)`` to run on every host event the
+        MCP machines post to ``port_id``'s event ring."""
+        self._host_event_listeners.setdefault(port_id, []).append(listener)
+
+    def remove_host_event_listener(self, port_id: int, listener) -> None:
+        """Unregister a host-event listener (missing listeners are a
+        no-op, so teardown paths can call this unconditionally)."""
+        listeners = self._host_event_listeners.get(port_id)
+        if listeners is None:
+            return
+        if listener in listeners:
+            listeners.remove(listener)
+        if not listeners:
+            del self._host_event_listeners[port_id]
 
     def on_port_open(self, port_id: int) -> None:
         """Hook for the driver: replay closed-port barrier rejections."""

@@ -184,9 +184,9 @@ class TestFigure5Definition:
 class TestSoakDefinition:
     def test_soak_jobs_cover_every_combination(self):
         jobs = soak_jobs(11, num_nodes=4, repetitions=2)
-        # host-gb/pe ride the regular stream once each; the three
-        # NIC-based algorithms soak both reliability designs.
-        assert len(jobs) == 8
+        # host-gb/pe and nbc-ibarrier ride the regular stream once each;
+        # the three NIC-based algorithms soak both reliability designs.
+        assert len(jobs) == 9
         assert all(j.kind == "soak" for j in jobs)
         labels = {j.params["label"] for j in jobs}
         assert labels == {label for label, _, _ in ALGORITHMS}

@@ -19,8 +19,10 @@ class TestChaosSoak:
         repetition inside the soak; reaching the result means every
         algorithm / reliability combination recovered."""
         result = run_chaos_soak(11, num_nodes=4, repetitions=2)
-        # host-gb/pe once each + three NIC algorithms x two modes.
-        assert len(result.rows) == 8
+        # host-gb/pe + nbc-ibarrier once each + three NIC algorithms x
+        # two reliability modes.
+        assert len(result.rows) == 9
+        assert any(row.label == "nbc-ibarrier" for row in result.rows)
         assert result.total_injected > 0  # the plans actually did damage
         assert all(row.alarms == 0 for row in result.rows)
 

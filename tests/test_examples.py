@@ -15,6 +15,7 @@ FAST_EXAMPLES = [
     "mpi_application.py",
     "timing_model.py",
     "onesided_status_board.py",
+    "nbc_pipeline.py",
 ]
 
 SLOW_EXAMPLES = [
