@@ -309,6 +309,58 @@ class TestSchedulerRewriteSpeedup:
         )
 
 
+class TestTelemetryOverhead:
+    def test_disabled_telemetry_under_5_percent_on_figure5_work(self):
+        """Telemetry off (the default) must cost <5% wall clock on the
+        Figure-5 unit of work.  The disabled path still constructs the
+        ``Telemetry`` null object and walks every ``register()`` call in
+        the fabric/NIC/DMA constructors, so the comparison baseline
+        stubs those out entirely (best-of-N interleaved minima, so
+        scheduler noise cancels).
+        """
+        import repro.telemetry.sampler as sampler
+        from repro.analysis.experiments import measure_barrier
+
+        def sweep() -> float:
+            t0 = time.perf_counter()
+            for nic_based in (True, False):
+                measure_barrier(
+                    LANAI_4_3_SYSTEM.cluster_config(16),
+                    nic_based=nic_based, algorithm="pe",
+                    repetitions=3, warmup=1,
+                )
+            return time.perf_counter() - t0
+
+        original_register = sampler.Telemetry.register
+        original_start = sampler.Telemetry.start
+
+        def no_register(self, *args, **kwargs):
+            return None
+
+        def no_start(self):
+            return None
+
+        sweep()  # warm imports and caches outside the timed region
+        stock = stubbed = float("inf")
+        try:
+            for _ in range(9):
+                sampler.Telemetry.register = original_register
+                sampler.Telemetry.start = original_start
+                stock = min(stock, sweep())
+                sampler.Telemetry.register = no_register
+                sampler.Telemetry.start = no_start
+                stubbed = min(stubbed, sweep())
+        finally:
+            sampler.Telemetry.register = original_register
+            sampler.Telemetry.start = original_start
+
+        overhead = stock / stubbed - 1.0
+        assert overhead < 0.05, (
+            f"disabled telemetry costs {overhead:.1%} wall clock on the "
+            f"Figure-5 measurement (limit 5%)"
+        )
+
+
 class TestFlightRecorderOverhead:
     def test_always_on_ring_under_5_percent_on_figure5_work(self):
         """The flight recorder is on by default, so its ring append (one

@@ -50,6 +50,10 @@ class BarrierMeasurement:
     #: of one traced barrier at the same config (None unless the
     #: measurement was asked for it).
     critical_path: Optional[dict] = field(repr=False, default=None)
+    #: Optional :meth:`repro.telemetry.sampler.Telemetry.summary` of the
+    #: measurement run itself (the sampler only reads component state,
+    #: so latencies are bit-identical with or without it).
+    telemetry: Optional[dict] = field(repr=False, default=None)
 
     @property
     def label(self) -> str:
@@ -75,6 +79,7 @@ class BarrierMeasurement:
             "per_barrier_us": list(self.per_barrier_us),
             "lanai_name": self.lanai_name,
             "critical_path": self.critical_path,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -126,6 +131,7 @@ def measure_barrier(
     group: Optional[Sequence[Endpoint]] = None,
     max_events: Optional[int] = 20_000_000,
     critical_path: bool = False,
+    telemetry: bool = False,
 ) -> BarrierMeasurement:
     """Measure the average latency of consecutive barriers on a fresh
     cluster built from ``config``.
@@ -137,7 +143,16 @@ def measure_barrier(
     measurement itself is untouched: the extra run is a separate
     simulation, so the reported latencies stay bit-identical to a
     ``critical_path=False`` call.
+
+    With ``telemetry``, the measurement cluster itself samples
+    component time series (see :mod:`repro.telemetry`) and the digest
+    lands on ``BarrierMeasurement.telemetry``.  The sampler is a pure
+    reader scheduled at low priority, so the reported latencies are
+    bit-identical to a ``telemetry=False`` run (asserted by
+    ``tests/test_telemetry.py``).
     """
+    if telemetry and not config.telemetry:
+        config = config.with_(telemetry=True)
     cluster = build_cluster(config)
     if group is None:
         group = default_group(cluster)
@@ -174,6 +189,9 @@ def measure_barrier(
             max_events=max_events,
         )
         cp_summary = path.summary()
+    tel_summary: Optional[dict] = None
+    if cluster.telemetry.enabled:
+        tel_summary = cluster.telemetry.summary()
     return BarrierMeasurement(
         num_nodes=len(group),
         algorithm=algorithm,
@@ -185,6 +203,7 @@ def measure_barrier(
         per_barrier_us=per_barrier,
         lanai_name=config.lanai_model.name,
         critical_path=cp_summary,
+        telemetry=tel_summary,
     )
 
 

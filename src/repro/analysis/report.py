@@ -273,33 +273,76 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--json", type=Path, default=None, metavar="OUT",
                         help="also write the paper-vs-measured tables as "
                              "machine-readable JSON to this file")
-    parser.add_argument("--observe", type=int, metavar="N", default=None,
-                        help="run one instrumented N-node dissemination "
-                             "barrier and print the metrics table")
-    parser.add_argument("--critical-path", type=int, metavar="N",
-                        default=None,
-                        help="run one traced N-node barrier and print its "
-                             "critical path: per-hop attribution table and "
-                             "per-segment totals (docs/observability.md)")
-    parser.add_argument("--algo", choices=["pe", "dissemination", "gb"],
-                        default="pe",
-                        help="with --critical-path: barrier algorithm "
-                             "(default pe)")
-    parser.add_argument("--trace-out", type=Path, default=None,
-                        help="with --observe or --critical-path: write the "
-                             "run as Chrome trace_event JSON to this file "
-                             "(with --critical-path the file includes flow "
-                             "arrows along the extracted chain)")
-    parser.add_argument("--faults", type=int, metavar="SEED", default=None,
-                        help="run the chaos soak (every barrier algorithm "
-                             "under seeded fault injection) and print the "
-                             "recovery table")
+    obs = parser.add_argument_group(
+        "observability runs",
+        "one-shot instrumented runs (docs/observability.md); pick at most "
+        "one mode: --observe, --critical-path, --telemetry or --faults")
+    obs.add_argument("--observe", type=int, metavar="N", default=None,
+                     help="run one instrumented N-node dissemination "
+                          "barrier and print the metrics table")
+    obs.add_argument("--critical-path", type=int, metavar="N",
+                     default=None,
+                     help="run one traced N-node barrier and print its "
+                          "critical path: per-hop attribution table and "
+                          "per-segment totals")
+    obs.add_argument("--telemetry", type=int, metavar="N", default=None,
+                     help="run one sampled N-node barrier and print the "
+                          "per-round congestion hotspot table "
+                          "(repro.analysis.hotspots)")
+    obs.add_argument("--sample-us", type=float, default=2.0, metavar="U",
+                     help="with --telemetry: sampling period in simulated "
+                          "microseconds (default 2.0)")
+    obs.add_argument("--telemetry-out", type=Path, default=None,
+                     metavar="FILE",
+                     help="with --telemetry: write every sampled series as "
+                          "JSONL to this file")
+    obs.add_argument("--algo", choices=["pe", "dissemination", "gb"],
+                     default=None,
+                     help="with --critical-path or --telemetry: barrier "
+                          "algorithm (defaults: pe for --critical-path, "
+                          "dissemination for --telemetry)")
+    obs.add_argument("--trace-out", type=Path, default=None,
+                     help="with --observe, --critical-path or --telemetry: "
+                          "write the run as Chrome trace_event JSON "
+                          "(--critical-path adds flow arrows along the "
+                          "chain; --telemetry adds counter tracks)")
+    obs.add_argument("--faults", type=int, metavar="SEED", default=None,
+                     help="run the chaos soak (every barrier algorithm "
+                          "under seeded fault injection) and print the "
+                          "recovery table")
     parser.add_argument("--nodes", type=int, default=8,
                         help="with --faults: cluster size (default 8)")
     parser.add_argument("--reps", type=int, default=3,
                         help="with --faults: barriers per combination "
                              "(default 3)")
     args = parser.parse_args(argv)
+
+    # -- observability flag validation (one mode, consistent companions) --
+    modes = {
+        "--observe": args.observe,
+        "--critical-path": args.critical_path,
+        "--telemetry": args.telemetry,
+        "--faults": args.faults,
+    }
+    active = [flag for flag, value in modes.items() if value is not None]
+    if len(active) > 1:
+        parser.error(f"{' and '.join(active)} are mutually exclusive -- "
+                     "pick one observability mode per run")
+    if args.trace_out is not None and not (
+        args.observe is not None
+        or args.critical_path is not None
+        or args.telemetry is not None
+    ):
+        parser.error("--trace-out needs a run to trace: combine it with "
+                     "--observe, --critical-path or --telemetry")
+    if args.telemetry_out is not None and args.telemetry is None:
+        parser.error("--telemetry-out requires --telemetry N (there are no "
+                     "sampled series without a telemetry run)")
+    if args.algo is not None and (
+        args.critical_path is None and args.telemetry is None
+    ):
+        parser.error("--algo only applies to --critical-path or --telemetry "
+                     "runs")
 
     if args.faults is not None:
         from repro.faults import run_chaos_soak
@@ -320,7 +363,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis.critical_path import traced_barrier_run
 
         cluster, path, end_to_end = traced_barrier_run(
-            args.critical_path, algorithm=args.algo
+            args.critical_path, algorithm=args.algo or "pe"
         )
         print(path.render_table())
         print(f"end-to-end barrier latency: {end_to_end:.3f} us "
@@ -328,6 +371,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.trace_out is not None:
             cluster.tracer.write_chrome_trace(
                 args.trace_out, flow_steps=path.events
+            )
+            print(f"wrote {args.trace_out}", file=sys.stderr)
+        return 0
+
+    if args.telemetry is not None:
+        from repro.analysis.hotspots import run_telemetry_barrier
+        from repro.telemetry import write_telemetry_jsonl
+
+        cluster, report = run_telemetry_barrier(
+            args.telemetry,
+            algorithm=args.algo or "dissemination",
+            sample_us=args.sample_us,
+        )
+        tel = cluster.telemetry
+        print(report.render_table())
+        print(f"telemetry: {len(tel.series)} series, "
+              f"{tel.samples_taken} samples at {tel.sample_us:g} us")
+        if args.telemetry_out is not None:
+            write_telemetry_jsonl(args.telemetry_out, tel.series.values())
+            print(f"wrote {args.telemetry_out}", file=sys.stderr)
+        if args.trace_out is not None:
+            cluster.tracer.write_chrome_trace(
+                args.trace_out, counter_series=list(tel.series.values())
             )
             print(f"wrote {args.trace_out}", file=sys.stderr)
         return 0

@@ -91,6 +91,7 @@ def _execute_job_payload(job: dict) -> dict:
                 skew_max_us=params.get("skew_max_us", 0.0),
                 max_events=params.get("max_events"),
                 critical_path=params.get("critical_path", False),
+                telemetry=params.get("telemetry", False),
             )
             value = measurement.to_dict()
         elif kind == "nbc_overlap":

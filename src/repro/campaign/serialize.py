@@ -41,9 +41,9 @@ from repro.nic.nic import NicParams
 #: Version salt folded into every cache key.  Bump whenever a change to
 #: the simulator alters what any measurement would produce -- cached
 #: results from older code then simply stop matching.
-CODE_VERSION = "campaign-v3"  # v3: non-blocking collectives -- the
-# nbc_overlap job kind entered the schema and the MPI layer's message
-# machinery changed underneath existing measurements
+CODE_VERSION = "campaign-v4"  # v4: telemetry -- measurement payloads
+# grew the telemetry field and configs the telemetry/telemetry_sample_us
+# knobs, so older cached results no longer describe what a job produces
 
 #: Known cards, so configs can name a model instead of inlining its
 #: whole cycle table.
@@ -172,6 +172,8 @@ def cluster_config_to_dict(config: ClusterConfig) -> dict:
         "trace": config.trace,
         "metrics": config.metrics,
         "profile": config.profile,
+        "telemetry": config.telemetry,
+        "telemetry_sample_us": config.telemetry_sample_us,
         "fault_plan": (
             None if config.fault_plan is None else config.fault_plan.to_dict()
         ),

@@ -41,6 +41,7 @@ MEASURE_KEYS = (
     "skew_max_us",
     "max_events",
     "critical_path",
+    "telemetry",
 )
 
 #: Point keys for the non-blocking overlap harness
@@ -151,6 +152,10 @@ class CampaignSpec:
     #: Attach a critical-path summary to every measurement (one extra
     #: traced barrier per job; see :mod:`repro.analysis.critical_path`).
     critical_path: bool = False
+    #: Sample component time series during every measurement and attach
+    #: the digest (see :mod:`repro.telemetry`; the sampler is a pure
+    #: reader, so latencies are unchanged).
+    telemetry: bool = False
     #: Job kind every point compiles to: "measure" (blocking-barrier
     #: latency) or "nbc_overlap" (non-blocking overlap harness).
     kind: str = "measure"
@@ -213,6 +218,7 @@ class CampaignSpec:
                 "critical_path": bool(
                     point.get("critical_path", self.critical_path)
                 ),
+                "telemetry": bool(point.get("telemetry", self.telemetry)),
             }
             config_dict = dict(self.base_config)
             config_dict.update(

@@ -126,6 +126,7 @@ def write_bench(path: os.PathLike | str, result) -> Path:
         path = path / BENCH_ARTIFACT
     jobs: List[dict] = []
     critical_paths: List[dict] = []
+    telemetry: List[dict] = []
     for jr in result.results:
         jobs.append(
             {
@@ -153,6 +154,30 @@ def write_bench(path: os.PathLike | str, result) -> Path:
                     "straggler_chain": cp.get("straggler_chain"),
                 }
             )
+        tel = (jr.value or {}).get("telemetry")
+        if tel:
+            # Per-job contention digest: busiest series by window mean,
+            # so a congested port is greppable from the artifact alone.
+            series = tel.get("series", {})
+            busiest = sorted(
+                (
+                    (doc.get("stats", {}).get("mean", 0.0), name)
+                    for name, doc in series.items()
+                    if name.endswith((".util", ".queue", ".depth", ".backlog"))
+                ),
+                reverse=True,
+            )[:5]
+            telemetry.append(
+                {
+                    "tag": jr.spec.tag,
+                    "sample_us": tel.get("sample_us"),
+                    "samples_taken": tel.get("samples_taken"),
+                    "series": len(series),
+                    "busiest": [
+                        {"name": name, "mean": mean} for mean, name in busiest
+                    ],
+                }
+            )
     payload: Dict = {
         "campaign": result.name,
         "code_version": result.code_version,
@@ -168,6 +193,8 @@ def write_bench(path: os.PathLike | str, result) -> Path:
     }
     if critical_paths:
         payload["critical_paths"] = critical_paths
+    if telemetry:
+        payload["telemetry"] = telemetry
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(f".tmp.{os.getpid()}")
     with open(tmp, "w") as f:

@@ -50,6 +50,13 @@ class ClusterConfig:
     metrics: bool = False
     #: Enable the per-callback-owner wall-clock profiler in the engine.
     profile: bool = False
+    #: Sim-time sampled telemetry (see :mod:`repro.telemetry`): every
+    #: component registers pull probes and a low-priority tick snapshots
+    #: them into ring-buffered time series.  Off by default (null
+    #: object, same <5% bar as ``metrics``).
+    telemetry: bool = False
+    #: Sampling period in simulated microseconds when telemetry is on.
+    telemetry_sample_us: float = 10.0
     #: Deterministic fault injection (see :mod:`repro.faults`).  None (the
     #: default) wires nothing at all -- the build is bit-identical to one
     #: from before the fault subsystem existed.
@@ -74,7 +81,10 @@ class Cluster:
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
         self.sim = Simulator(
-            metrics_enabled=config.metrics, profile=config.profile
+            metrics_enabled=config.metrics,
+            profile=config.profile,
+            telemetry_enabled=config.telemetry,
+            telemetry_sample_us=config.telemetry_sample_us,
         )
         self.rng = SimRng(config.seed)
         self.tracer = Tracer(self.sim, enabled=config.trace)
@@ -124,6 +134,11 @@ class Cluster:
         whoever catches it -- a campaign worker, a test, a CLI -- holds
         the black box of the simulation's final moments.
         """
+        # Re-arm the telemetry tick (no-op when disabled or already
+        # armed): the sampler goes dormant at quiescence so the event
+        # loop can drain, and this brings it back for the next batch of
+        # work.
+        self.sim.telemetry.start()
         try:
             return self.sim.run(until=until, max_events=max_events)
         except Exception as exc:
@@ -148,6 +163,11 @@ class Cluster:
     def metrics(self):
         """The simulation metrics registry (null when not enabled)."""
         return self.sim.metrics
+
+    @property
+    def telemetry(self):
+        """The sim-time telemetry sampler (null when not enabled)."""
+        return self.sim.telemetry
 
 
 def build_cluster(config: Optional[ClusterConfig] = None, **overrides) -> Cluster:

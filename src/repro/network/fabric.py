@@ -95,6 +95,47 @@ class Network:
             sink_at_b = sw_b.attach(t.port_b, b_out)
             a_out.connect(sink_at_b)
             b_out.connect(sink_at_a)
+            self._register_channel_telemetry(f"sw{t.switch_a}.p{t.port_a}", a_out)
+            self._register_channel_telemetry(f"sw{t.switch_b}.p{t.port_b}", b_out)
+
+    def _register_channel_telemetry(self, component: str, ch: Channel) -> None:
+        """Register sampled probes for one channel under ``component``.
+
+        Components are role-aware (``sw0.p3`` for a switch output port,
+        ``nic2.tx`` for a NIC's injection link) rather than raw channel
+        names, so hotspot attribution ranks physical contention points,
+        not wiring directions.  All probes read plain attributes that
+        are maintained regardless of the metrics flag.
+        """
+        tel = self.sim.telemetry
+        if not tel.enabled:
+            return
+        # busy_us is a monotone integral of serialization time; sampled
+        # as a counter its per-interval rate is utilization in [0, 1].
+        tel.register(
+            f"{component}.util",
+            lambda c=ch: c.busy_us,
+            kind="counter",
+            component=component,
+            unit="frac",
+        )
+        tel.register(
+            f"{component}.queue",
+            lambda c=ch: float(c.queue_depth),
+            component=component,
+            unit="pkts",
+        )
+        tel.register(
+            f"{component}.inflight_bytes",
+            lambda c=ch: float(sum(p.size_bytes for p in c._queue)),
+            component=component,
+            unit="bytes",
+        )
+        tel.register(
+            f"{component}.paused",
+            lambda c=ch: 1.0 if c._paused else 0.0,
+            component=component,
+        )
 
     def _make_channel(self, name: str) -> Channel:
         ch = Channel(
@@ -139,6 +180,11 @@ class Network:
         self._nic_tx[nic_id] = up
         self._nic_rx[nic_id] = down
         self._attached[nic_id] = True
+        # Telemetry: the down channel is this switch output port (the
+        # congestion point when many senders target one NIC); the up
+        # channel is the NIC's own injection link.
+        self._register_channel_telemetry(f"sw{switch_id}.p{port}", down)
+        self._register_channel_telemetry(f"nic{nic_id}.tx", up)
         return up
 
     def route_for(self, src_nic: int, dst_nic: int) -> List[int]:

@@ -55,6 +55,17 @@ class DmaEngine:
         #: Time spent waiting for the bus before each transfer -- the PCI
         #: contention term of the paper's Send/RDMA decomposition.
         self._pci_wait = metrics.histogram(f"{prefix}.pci_wait_us")
+        # Sampled telemetry (no-ops when disabled): the monotone byte
+        # total becomes a per-interval transfer rate.  Reads the plain
+        # attribute, never the metrics instruments above (null objects
+        # when the metrics flag is off).
+        sim.telemetry.register(
+            f"{prefix}.bytes_rate",
+            lambda: float(self.bytes_moved),
+            kind="counter",
+            component=prefix,
+            unit="B/us",
+        )
 
     def transfer_time(self, size_bytes: int) -> float:
         """Bus-occupancy time for a transfer of ``size_bytes``."""

@@ -170,7 +170,50 @@ class Nic:
         self.rdma_machine = RdmaMachine(self)
 
         self._register_metrics()
+        self._register_telemetry()
 
+    def _register_telemetry(self) -> None:
+        """Register this NIC's sampled time-series probes.
+
+        Like :meth:`_register_metrics` these read only the plain
+        attributes that are always maintained (``Resource.busy_us``,
+        ``len(Store)``, DMA transfer totals) -- never metrics
+        instruments, which are null objects when the metrics flag is
+        off.  A disabled sampler drops every registration.
+        """
+        tel = self.sim.telemetry
+        if not tel.enabled:
+            return
+        prefix = f"nic{self.node_id}"
+        # busy_us is monotone; sampled as a counter the per-interval
+        # rate is the LANai processor's utilization over that window.
+        tel.register(
+            f"{prefix}.cpu.util",
+            lambda: self.cpu_resource.busy_us,
+            kind="counter",
+            component=f"{prefix}.cpu",
+            unit="frac",
+        )
+        for store_name, store in (
+            ("sdma_inbox", self.sdma_inbox),
+            ("send_q", self.send_queue),
+            ("recv_q", self.recv_queue),
+            ("rdma_q", self.rdma_queue),
+        ):
+            tel.register(
+                f"{prefix}.{store_name}.depth",
+                lambda s=store: float(len(s)),
+                component=f"{prefix}.cpu",
+                unit="items",
+            )
+        # DMA backlog: requests waiting on (or holding) the shared PCI
+        # bus -- the contention signal behind the pci_wait_us histogram.
+        tel.register(
+            f"{prefix}.dma.backlog",
+            lambda: float(self.pci_bus.queued + self.pci_bus.in_use),
+            component=f"{prefix}.dma",
+            unit="reqs",
+        )
     def _register_metrics(self) -> None:
         """Expose this NIC's counters to the simulation metrics registry.
 

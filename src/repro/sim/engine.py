@@ -42,6 +42,7 @@ from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.sim.metrics import MetricsRegistry
+from repro.telemetry import DEFAULT_SAMPLE_US, Telemetry
 
 #: Default priority for ordinary events.
 PRIORITY_NORMAL = 0
@@ -201,6 +202,8 @@ class Simulator:
         start_time: float = 0.0,
         metrics_enabled: bool = False,
         profile: bool = False,
+        telemetry_enabled: bool = False,
+        telemetry_sample_us: float = DEFAULT_SAMPLE_US,
     ) -> None:
         self.now: float = start_time
         self._seq: int = 0
@@ -229,6 +232,22 @@ class Simulator:
         self.events_executed: int = 0
         #: Registry every component of this simulation registers into.
         self.metrics = MetricsRegistry(self, enabled=metrics_enabled)
+        #: Sim-time sampler components register pull probes into.  A
+        #: null object when disabled; ``start()`` arms the tick.
+        self.telemetry = Telemetry(
+            self, enabled=telemetry_enabled, sample_us=telemetry_sample_us
+        )
+        # The engine's own activity probe.  ``events_executed`` is
+        # batched in the hot run loop (flushed on exit), so the live
+        # signal is the schedule-time sequence counter: events entering
+        # the calendar per simulated microsecond.
+        self.telemetry.register(
+            "engine.events_per_us",
+            lambda: float(self._seq),
+            kind="counter",
+            component="engine",
+            unit="events/us",
+        )
         #: Queue pops that hit a lazily-cancelled entry (the cost of O(1)
         #: ``EventHandle.cancel``); compare against ``events_executed``
         #: for the cancelled-pop ratio.

@@ -220,6 +220,20 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._busy: Dict[str, BusyTime] = {}
         self._observed: Dict[str, Callable[[], float]] = {}
+        # name -> instrument kind, across every kind.  ``snapshot()``
+        # flattens all kinds into one namespace, so a gauge named like
+        # an existing counter (or a re-registered observe callback)
+        # used to shadow silently; now it raises at registration time.
+        self._claimed: Dict[str, str] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        held = self._claimed.get(name)
+        if held is not None:
+            raise ValueError(
+                f"metric name {name!r} already registered as {held}; "
+                f"re-registering it as {kind} would shadow it in snapshots"
+            )
+        self._claimed[name] = kind
 
     # -- instrument factories -------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -228,6 +242,7 @@ class MetricsRegistry:
             return NULL_INSTRUMENT  # type: ignore[return-value]
         c = self._counters.get(name)
         if c is None:
+            self._claim(name, "counter")
             c = self._counters[name] = Counter(name)
         return c
 
@@ -237,6 +252,7 @@ class MetricsRegistry:
             return NULL_INSTRUMENT  # type: ignore[return-value]
         g = self._gauges.get(name)
         if g is None:
+            self._claim(name, "gauge")
             g = self._gauges[name] = Gauge(name)
         return g
 
@@ -246,6 +262,7 @@ class MetricsRegistry:
             return NULL_INSTRUMENT  # type: ignore[return-value]
         h = self._histograms.get(name)
         if h is None:
+            self._claim(name, "histogram")
             h = self._histograms[name] = Histogram(name)
         return h
 
@@ -255,6 +272,7 @@ class MetricsRegistry:
             return NULL_INSTRUMENT  # type: ignore[return-value]
         b = self._busy.get(name)
         if b is None:
+            self._claim(name, "busy_time")
             b = self._busy[name] = BusyTime(self.sim, name)
         return b
 
@@ -267,6 +285,7 @@ class MetricsRegistry:
         """
         if not self.enabled:
             return
+        self._claim(name, "observed")
         self._observed[name] = fn
 
     # -- collection ------------------------------------------------------

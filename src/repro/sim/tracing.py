@@ -472,6 +472,7 @@ class Tracer:
         self,
         span_pairs: Optional[Sequence[Tuple[str, str, str]]] = None,
         flow_steps: Optional[Sequence[TraceEvent]] = None,
+        counter_series: Optional[Sequence[Any]] = None,
     ) -> Dict[str, Any]:
         """The trace in Chrome ``trace_event`` JSON format.
 
@@ -494,6 +495,13 @@ class Tracer:
             from :mod:`repro.analysis.critical_path`) rendered as paired
             flow ("s"/"f") events, so Perfetto draws causal arrows
             between the rows the chain crosses.
+        counter_series:
+            Telemetry :class:`~repro.telemetry.series.TimeSeries`
+            objects rendered as counter ("C") track charts.  A series
+            whose component name starts with a trace category (e.g.
+            ``nic3.cpu`` under the ``nic3`` row) lands on that process;
+            everything else (switch ports, the engine) goes on a
+            dedicated ``telemetry`` process row.
 
         Notes
         -----
@@ -560,6 +568,34 @@ class Tracer:
                     )
         if flow_steps:
             trace_events.extend(flow_events(flow_steps, pids))
+        if counter_series:
+            from repro.telemetry.export import counter_events
+
+            counter_pids = dict(pids)
+            telemetry_pid = len(categories) + 1
+            homeless = False
+            for series in counter_series:
+                comp = series.component
+                root = comp.split(".", 1)[0]
+                if comp not in counter_pids:
+                    if root in pids:
+                        counter_pids[comp] = pids[root]
+                    else:
+                        counter_pids[comp] = telemetry_pid
+                        homeless = True
+            if homeless:
+                trace_events.append(
+                    {
+                        "name": "process_name",
+                        "ph": "M",
+                        "pid": telemetry_pid,
+                        "tid": 0,
+                        "args": {"name": "telemetry"},
+                    }
+                )
+            trace_events.extend(
+                counter_events(counter_series, counter_pids, default_pid=telemetry_pid)
+            )
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def write_chrome_trace(
@@ -567,10 +603,13 @@ class Tracer:
         path: Union[str, Path],
         span_pairs: Optional[Sequence[Tuple[str, str, str]]] = None,
         flow_steps: Optional[Sequence[TraceEvent]] = None,
+        counter_series: Optional[Sequence[Any]] = None,
     ) -> Path:
         """Write :meth:`to_chrome_trace` as JSON to ``path`` atomically."""
         path = Path(path)
-        doc = self.to_chrome_trace(span_pairs, flow_steps=flow_steps)
+        doc = self.to_chrome_trace(
+            span_pairs, flow_steps=flow_steps, counter_series=counter_series
+        )
         return _atomic_write_text(path, json.dumps(doc))
 
 

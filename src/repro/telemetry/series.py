@@ -1,0 +1,181 @@
+"""Ring-buffered time series with windowed rollups.
+
+A :class:`TimeSeries` holds ``(sim_time_us, value)`` samples in a
+bounded ring (oldest samples are evicted, never the newest — the recent
+past is what hotspot attribution joins against).  Rollups compute
+min/max/mean/p99 either over an arbitrary ``[t0, t1]`` interval
+(:meth:`TimeSeries.stats`) or over fixed-width aligned windows
+(:meth:`TimeSeries.rollup`).
+
+The module is intentionally stdlib-only and imports nothing from the
+rest of ``repro`` so the engine can own a sampler without import
+cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+DEFAULT_CAPACITY = 4096
+
+__all__ = ["TimeSeries", "percentile", "DEFAULT_CAPACITY"]
+
+
+def percentile(values: List[float], pct: float) -> float:
+    """Nearest-rank percentile of ``values`` (``pct`` in [0, 100]).
+
+    Matches the definition used for latency tables elsewhere in the
+    repo: rank = ceil(pct/100 * n), clamped to [1, n].  ``values`` need
+    not be sorted; raises ``ValueError`` on an empty list.
+    """
+    if not values:
+        raise ValueError("percentile of empty series")
+    ordered = sorted(values)
+    n = len(ordered)
+    # ceil(pct * n / 100) in exact integer arithmetic (pct to 0.01 resolution).
+    rank = -((-int(round(pct * 100)) * n) // 10000)
+    rank = max(1, min(n, rank))
+    return ordered[rank - 1]
+
+
+class TimeSeries:
+    """A named, bounded sequence of ``(time_us, value)`` samples."""
+
+    __slots__ = ("name", "component", "kind", "unit", "capacity", "dropped", "_samples")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        component: str = "",
+        kind: str = "gauge",
+        unit: str = "",
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"TimeSeries capacity must be positive, got {capacity}")
+        if kind not in ("gauge", "counter"):
+            raise ValueError(f"unknown TimeSeries kind {kind!r}")
+        self.name = name
+        self.component = component or name.split(".", 1)[0]
+        self.kind = kind
+        self.unit = unit
+        self.capacity = int(capacity)
+        self.dropped = 0
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimeSeries({self.name!r}, kind={self.kind!r}, "
+            f"samples={len(self._samples)}, dropped={self.dropped})"
+        )
+
+    def append(self, time_us: float, value: float) -> None:
+        """Add one sample, evicting the oldest when the ring is full."""
+        if len(self._samples) == self.capacity:
+            self.dropped += 1
+        self._samples.append((time_us, value))
+
+    def samples(self) -> List[Tuple[float, float]]:
+        """All retained samples, oldest first."""
+        return list(self._samples)
+
+    def values_between(self, t0: float, t1: float) -> List[float]:
+        """Sample values with ``t0 <= t <= t1``, oldest first."""
+        return [v for t, v in self._samples if t0 <= t <= t1]
+
+    def last_at_or_before(self, t: float) -> Optional[float]:
+        """Most recent sample value taken at or before ``t`` (None if none)."""
+        best: Optional[float] = None
+        for st, sv in self._samples:
+            if st > t:
+                break
+            best = sv
+        return best
+
+    def stats(self, t0: Optional[float] = None, t1: Optional[float] = None) -> Optional[Dict[str, float]]:
+        """min/max/mean/p99/count over samples in ``[t0, t1]`` (inclusive).
+
+        Bounds default to the whole retained window.  Returns ``None``
+        when no sample falls inside the interval.
+        """
+        if not self._samples:
+            return None
+        lo = self._samples[0][0] if t0 is None else t0
+        hi = self._samples[-1][0] if t1 is None else t1
+        vals = self.values_between(lo, hi)
+        if not vals:
+            return None
+        return {
+            "count": float(len(vals)),
+            "min": min(vals),
+            "max": max(vals),
+            "mean": sum(vals) / len(vals),
+            "p99": percentile(vals, 99.0),
+        }
+
+    def rollup(self, window_us: float) -> List[Dict[str, float]]:
+        """Fixed-width windowed rollups, aligned to multiples of ``window_us``.
+
+        Each entry carries ``t0``/``t1`` (the window bounds) plus the
+        same min/max/mean/p99/count keys as :meth:`stats`.  Empty
+        windows are omitted.
+        """
+        if window_us <= 0:
+            raise ValueError(f"rollup window must be positive, got {window_us}")
+        out: List[Dict[str, float]] = []
+        bucket: Optional[int] = None
+        vals: List[float] = []
+
+        def flush() -> None:
+            if bucket is None or not vals:
+                return
+            out.append(
+                {
+                    "t0": bucket * window_us,
+                    "t1": (bucket + 1) * window_us,
+                    "count": float(len(vals)),
+                    "min": min(vals),
+                    "max": max(vals),
+                    "mean": sum(vals) / len(vals),
+                    "p99": percentile(vals, 99.0),
+                }
+            )
+
+        for t, v in self._samples:
+            b = int(t // window_us)
+            if b != bucket:
+                flush()
+                bucket = b
+                vals = []
+            vals.append(v)
+        flush()
+        return out
+
+    def to_dict(self, *, rollup_us: Optional[float] = None) -> Dict[str, object]:
+        """JSON-able description: identity, overall stats, optional rollups."""
+        doc: Dict[str, object] = {
+            "name": self.name,
+            "component": self.component,
+            "kind": self.kind,
+            "unit": self.unit,
+            "samples": len(self._samples),
+            "dropped": self.dropped,
+        }
+        stats = self.stats()
+        if stats is not None:
+            doc["stats"] = stats
+            doc["t_first"] = self._samples[0][0]
+            doc["t_last"] = self._samples[-1][0]
+        if rollup_us is not None:
+            doc["rollup_us"] = rollup_us
+            doc["rollups"] = self.rollup(rollup_us)
+        return doc
+
+    def iter_points(self) -> Iterator[Tuple[float, float]]:
+        """Iterate ``(time_us, value)`` pairs without copying."""
+        return iter(self._samples)

@@ -194,3 +194,44 @@ class TestObservability:
         assert by_tag["probe-raise"]["ok"] is False
         assert "ValueError" in by_tag["probe-raise"]["traceback"]
         assert result.failed == 1
+
+
+class TestTelemetryOptIn:
+    def test_measure_job_carries_telemetry_summary(self, tmp_path):
+        """A campaign point with telemetry=True samples the run and the
+        BENCH artifact grows the per-job contention digest."""
+        job = measure_job(
+            ClusterConfig(num_nodes=2, telemetry=True,
+                          telemetry_sample_us=2.0),
+            telemetry=True, repetitions=1,
+        )
+        job = JobSpec(kind=job.kind, config=job.config, params=job.params,
+                      tag="tele-pe2")
+        result = run_campaign([job], bench_path=tmp_path, name="tele")
+        assert result.failed == 0
+        payload = result.results[0].value
+        tel = payload["telemetry"]
+        assert tel["enabled"] is True
+        assert tel["samples_taken"] > 0
+        assert any(n.startswith("nic0.") for n in tel["series"])
+
+        import json
+
+        doc = json.loads((tmp_path / "BENCH_campaign.json").read_text())
+        digest = doc["telemetry"]
+        assert digest[0]["tag"] == "tele-pe2"
+        assert digest[0]["series"] == len(tel["series"])
+        assert digest[0]["busiest"]  # top mean-ranked contention series
+
+    def test_default_measure_job_has_no_telemetry_payload(self, tmp_path):
+        result = run_campaign(
+            [measure_job(ClusterConfig(num_nodes=2), repetitions=1)],
+            bench_path=tmp_path, name="quiet",
+        )
+        assert result.failed == 0
+        assert result.results[0].value["telemetry"] is None
+
+        import json
+
+        doc = json.loads((tmp_path / "BENCH_campaign.json").read_text())
+        assert "telemetry" not in doc

@@ -224,3 +224,44 @@ class TestSoakDefinition:
         )
         assert a.signature() == b.signature()
         assert len(list(tmp_path.glob("*.json"))) == 2
+
+
+class TestTelemetryKnob:
+    def test_spec_round_trips_and_compiles_telemetry(self):
+        spec = CampaignSpec(
+            name="tele",
+            base_config={"num_nodes": 2},
+            telemetry=True,
+        )
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert again == spec
+        jobs = again.compile()
+        assert all(j.params["telemetry"] is True for j in jobs)
+
+    def test_point_overrides_campaign_default(self):
+        spec = CampaignSpec(
+            base_config={"num_nodes": 2},
+            points=[{"telemetry": True}, {}],
+        )
+        flags = [j.params["telemetry"] for j in spec.compile()]
+        assert flags == [True, False]
+
+    def test_telemetry_flag_changes_the_cache_key(self):
+        base = CampaignSpec(base_config={"num_nodes": 2})
+        tele = CampaignSpec(base_config={"num_nodes": 2}, telemetry=True)
+        assert (
+            base.compile()[0].cache_key() != tele.compile()[0].cache_key()
+        )
+
+    def test_config_knobs_round_trip(self):
+        from repro.campaign import (
+            cluster_config_from_dict,
+            cluster_config_to_dict,
+        )
+
+        cfg = ClusterConfig(
+            num_nodes=2, telemetry=True, telemetry_sample_us=3.5
+        )
+        back = cluster_config_from_dict(cluster_config_to_dict(cfg))
+        assert back.telemetry is True
+        assert back.telemetry_sample_us == 3.5

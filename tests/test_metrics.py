@@ -174,6 +174,49 @@ class TestDisabledRegistry:
         assert reg.snapshot() == {}
 
 
+class TestNameUniqueness:
+    """A metric name may only ever be claimed by one instrument kind:
+    two instruments sharing a name would silently shadow each other in
+    ``snapshot()``, so the registry refuses at creation time."""
+
+    def test_same_kind_create_or_get_is_still_fine(self, sim):
+        reg = MetricsRegistry(sim)
+        assert reg.counter("x") is reg.counter("x")
+
+    @pytest.mark.parametrize("first,second", [
+        ("counter", "gauge"),
+        ("gauge", "histogram"),
+        ("histogram", "busy_time"),
+        ("busy_time", "counter"),
+    ])
+    def test_cross_kind_reuse_raises(self, sim, first, second):
+        reg = MetricsRegistry(sim)
+        getattr(reg, first)("x")
+        with pytest.raises(ValueError, match="already registered"):
+            getattr(reg, second)("x")
+
+    def test_observe_claims_the_name_too(self, sim):
+        reg = MetricsRegistry(sim)
+        reg.observe("live", lambda: 1)
+        with pytest.raises(ValueError):
+            reg.counter("live")
+        with pytest.raises(ValueError):
+            reg.observe("live", lambda: 2)
+
+    def test_instrument_name_blocks_observe(self, sim):
+        reg = MetricsRegistry(sim)
+        reg.gauge("depth")
+        with pytest.raises(ValueError):
+            reg.observe("depth", lambda: 1)
+
+    def test_disabled_registry_never_raises(self, sim):
+        reg = MetricsRegistry(sim, enabled=False)
+        reg.counter("x")
+        reg.gauge("x")
+        reg.observe("x", lambda: 1)
+        assert reg.snapshot() == {}
+
+
 class TestEngineIntegration:
     def test_cancelled_pop_ratio(self, sim):
         handles = [sim.schedule(1.0, lambda: None) for _ in range(4)]

@@ -63,3 +63,60 @@ class TestCliEndToEnd:
         )
         assert result.returncode == 0
         assert "pe-factor" in result.stdout
+
+
+class TestObservabilityFlagValidation:
+    """The observability group: one mode per run, companions only with
+    the mode they belong to, and clear parser errors otherwise."""
+
+    @pytest.mark.parametrize("argv", [
+        ["--observe", "4", "--critical-path", "4"],
+        ["--observe", "4", "--telemetry", "4"],
+        ["--telemetry", "4", "--faults", "1"],
+        ["--critical-path", "4", "--telemetry", "4", "--observe", "4"],
+    ])
+    def test_modes_are_mutually_exclusive(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_trace_out_requires_a_mode(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["--trace-out", str(tmp_path / "t.json")])
+        assert "--trace-out needs a run" in capsys.readouterr().err
+
+    def test_telemetry_out_requires_telemetry(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["--observe", "4",
+                  "--telemetry-out", str(tmp_path / "t.jsonl")])
+        assert "requires --telemetry" in capsys.readouterr().err
+
+    def test_algo_requires_a_compatible_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--observe", "4", "--algo", "gb"])
+        assert "--algo" in capsys.readouterr().err
+
+
+class TestTelemetryMode:
+    def test_prints_hotspots_and_writes_exports(self, tmp_path, capsys):
+        import json
+
+        jsonl = tmp_path / "telemetry.jsonl"
+        trace = tmp_path / "trace.json"
+        rc = main([
+            "--telemetry", "4", "--sample-us", "2",
+            "--telemetry-out", str(jsonl), "--trace-out", str(trace),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hotspot" in out
+        assert "telemetry:" in out
+
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert {"name", "component", "t", "value"} <= set(first)
+
+        doc = json.loads(trace.read_text())
+        assert any(e["ph"] == "C" for e in doc["traceEvents"])

@@ -128,6 +128,105 @@ class TestChromeTraceExport:
         assert isinstance(doc["traceEvents"], list)
 
 
+class TestChromeCounterTracks:
+    """Telemetry series merged into the Chrome trace as counter ("C")
+    events, placed on the matching process row when one exists."""
+
+    @staticmethod
+    def series(name, points, component=None):
+        from repro.telemetry import TimeSeries
+
+        s = TimeSeries(name, component=component or "")
+        for t, v in points:
+            s.append(t, v)
+        return s
+
+    def test_counters_land_on_the_matching_category_row(self, sim, tracer):
+        at(sim, 1.0, tracer.record, "nic0", "barrier.send")
+        sim.run()
+        doc = tracer.to_chrome_trace(counter_series=[
+            self.series("nic0.cpu.util", [(1.0, 0.5)], component="nic0.cpu"),
+        ])
+        events = doc["traceEvents"]
+        nic0_pid = next(
+            e["pid"] for e in events
+            if e["ph"] == "M" and e["args"]["name"] == "nic0"
+        )
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 1
+        c = counters[0]
+        # "nic0.cpu" has no category of its own; its first dotted
+        # segment does, so the track draws under the nic0 process.
+        assert c["pid"] == nic0_pid
+        assert c["name"] == "nic0.cpu.util"
+        assert c["ts"] == 1.0
+        assert c["args"]["value"] == 0.5
+
+    def test_homeless_series_get_a_telemetry_process(self, sim, tracer):
+        at(sim, 1.0, tracer.record, "nic0", "barrier.send")
+        sim.run()
+        doc = tracer.to_chrome_trace(counter_series=[
+            self.series("sw0.p0.queue", [(2.0, 3.0)], component="sw0.p0"),
+        ])
+        events = doc["traceEvents"]
+        meta = {e["args"]["name"]: e["pid"] for e in events if e["ph"] == "M"}
+        assert "telemetry" in meta
+        counter = next(e for e in events if e["ph"] == "C")
+        assert counter["pid"] == meta["telemetry"]
+        assert counter["pid"] not in (meta["nic0"],)
+
+    def test_spans_and_counters_coexist(self, sim, tracer):
+        at(sim, 1.0, tracer.record, "nic0", "barrier.pe.begin")
+        at(sim, 6.0, tracer.record, "nic0", "barrier.pe.end")
+        sim.run()
+        doc = tracer.to_chrome_trace(counter_series=[
+            self.series("nic0.tx.util", [(2.0, 0.4), (4.0, 0.9)],
+                        component="nic0.tx"),
+        ])
+        events = doc["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(xs) == 1 and xs[0]["dur"] == pytest.approx(5.0)
+        assert [c["args"]["value"] for c in counters] == [0.4, 0.9]
+        json.dumps(doc)  # whole document still serializes
+
+    def test_no_counter_series_emits_no_counter_events(self, sim, tracer):
+        at(sim, 1.0, tracer.record, "nic0", "x")
+        sim.run()
+        doc = tracer.to_chrome_trace()
+        assert [e for e in doc["traceEvents"] if e["ph"] == "C"] == []
+
+
+class TestTelemetryPlusTracingRun:
+    def test_sampled_traced_barrier_exports_both(self, tmp_path):
+        """Telemetry and tracing both on: the Chrome trace carries the
+        barrier spans AND the counter tracks, and span pairing is
+        unperturbed by the sampler's tick events."""
+        from repro.analysis.hotspots import run_telemetry_barrier
+
+        cluster, report = run_telemetry_barrier(4, sample_us=2.0)
+        trace_path = tmp_path / "trace.json"
+        cluster.tracer.write_chrome_trace(
+            trace_path,
+            counter_series=list(cluster.telemetry.series.values()),
+        )
+        doc = json.loads(trace_path.read_text())
+        events = doc["traceEvents"]
+        barrier_spans = [
+            e for e in events if e["ph"] == "X" and e["name"] == "barrier"
+        ]
+        assert len(barrier_spans) == 4  # one per rank, still paired
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters
+        assert {e["name"] for e in counters} >= {
+            "nic0.cpu.util", "engine.events_per_us",
+        }
+        # Every counter sits on a declared process row.
+        meta_pids = {e["pid"] for e in events if e["ph"] == "M"}
+        assert {e["pid"] for e in counters} <= meta_pids
+        assert report.rounds  # and the hotspot join still works
+
+
 class TestInstrumentedBarrierRun:
     def test_16_node_dissemination_run_produces_metrics_and_trace(
         self, tmp_path
