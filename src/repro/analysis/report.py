@@ -28,6 +28,12 @@ a link flap, a switch port stall, a NIC pause and an ACK-loss burst --
 and prints the recovery table (injected losses, retransmits, duplicate
 suppressions, alarms).  Same seed, same table (see
 ``docs/reliability.md``).
+
+``python -m repro.analysis.report --crashes SEED`` runs the crash soak
+instead: every barrier algorithm under a seeded fail-stop *node crash*
+at every phase and cluster size, checking that survivors abort with
+typed failures, shrink to the agreed smaller group and resume (see the
+fail-stop section of ``docs/reliability.md``).
 """
 
 from __future__ import annotations
@@ -310,6 +316,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="run the chaos soak (every barrier algorithm "
                           "under seeded fault injection) and print the "
                           "recovery table")
+    obs.add_argument("--crashes", type=int, metavar="SEED", default=None,
+                     help="run the crash soak (every barrier algorithm "
+                          "under a seeded fail-stop node crash at every "
+                          "phase and size) and print the shrink-and-"
+                          "resume table")
     parser.add_argument("--nodes", type=int, default=8,
                         help="with --faults: cluster size (default 8)")
     parser.add_argument("--reps", type=int, default=3,
@@ -323,6 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--critical-path": args.critical_path,
         "--telemetry": args.telemetry,
         "--faults": args.faults,
+        "--crashes": args.crashes,
     }
     active = [flag for flag, value in modes.items() if value is not None]
     if len(active) > 1:
@@ -357,6 +369,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.table())
         print(f"total injected={result.total_injected} "
               f"retransmits={result.total_retransmits}; all barriers safe")
+        return 0
+
+    if args.crashes is not None:
+        from repro.faults import run_crash_soak
+
+        result = run_crash_soak(args.crashes)
+        print(f"crash soak: seed={result.seed} combos={len(result.rows)}")
+        print(result.table())
+        print("every combination terminated; survivors agreed on the "
+              "post-shrink group")
         return 0
 
     if args.critical_path is not None:

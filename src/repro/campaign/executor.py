@@ -14,8 +14,11 @@ raises and returns the error + traceback as data, so one hostile fault
 plan (say, a :class:`~repro.nic.nic.RetransmitLimitExceeded` alarm)
 becomes a failed :class:`JobResult` while sibling jobs complete.  A
 worker that dies outright (segfault, ``os._exit``) surfaces as
-``BrokenProcessPool`` on its future -- also captured per job, never a
-hung pool.
+``BrokenProcessPool`` on its future; worker death is an infrastructure
+fault rather than a property of the job, so the executor re-runs such
+jobs on a fresh pool up to ``max_retries`` times (counted by the
+``campaign.retries`` metric) before recording the failure -- and never
+a hung pool either way.
 
 Progress streams through the PR-1 observability machinery: a
 :class:`~repro.sim.metrics.MetricsRegistry` counts submissions, cache
@@ -29,6 +32,7 @@ import logging
 import time
 import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
@@ -123,6 +127,16 @@ def _execute_job_payload(job: dict) -> dict:
                 import os
 
                 os._exit(13)
+            if action == "crash_once":
+                # Die only while the marker file is absent: models a
+                # transient worker death (the retry-path test hook).
+                import os
+
+                marker = params["marker"]
+                if not os.path.exists(marker):
+                    with open(marker, "w") as fh:
+                        fh.write("crashed\n")
+                    os._exit(13)
             if action == "raise":
                 raise ValueError(params.get("message", "probe failure"))
             value = dict(params)
@@ -145,6 +159,49 @@ def _execute_job_payload(job: dict) -> dict:
             "flight": getattr(exc, "flight_records", None),
             "elapsed_s": time.perf_counter() - start,
         }
+
+
+def _retry_broken_job(
+    name: str,
+    spec: "JobSpec",
+    first_error: str,
+    max_retries: int,
+    registry: MetricsRegistry,
+) -> dict:
+    """Re-run a job whose worker died, up to ``max_retries`` times.
+
+    Each attempt gets its own single-worker pool -- the original pool is
+    poisoned, and an isolated worker keeps a repeatedly-crashing job
+    from taking sibling retries down with it.  Returns the payload of
+    the first surviving attempt, or a failure payload quoting the first
+    death when every attempt dies too.
+    """
+    error = first_error
+    for attempt in range(1, max_retries + 1):
+        registry.counter("campaign.retries").inc()
+        logger.warning(
+            "[%s] worker died on %s (%s); retry %d/%d on a fresh pool",
+            name, spec.tag or spec.cache_key()[:12], error, attempt,
+            max_retries,
+        )
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            try:
+                return pool.submit(
+                    _execute_job_payload, spec.to_dict()
+                ).result()
+            except BrokenProcessPool as exc:
+                error = f"{type(exc).__name__}: {exc}"
+    return {
+        "ok": False,
+        "error": (
+            f"worker died and {max_retries} retr"
+            f"{'y' if max_retries == 1 else 'ies'} died too: {error}"
+            if max_retries
+            else f"worker died (retries disabled): {error}"
+        ),
+        "error_type": "BrokenProcessPool",
+        "traceback": None,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +281,7 @@ def run_campaign(
     metrics: Optional[MetricsRegistry] = None,
     bench_path=None,
     code_version: str = CODE_VERSION,
+    max_retries: Optional[int] = None,
 ) -> CampaignResult:
     """Execute a campaign; see the module docstring for the contract.
 
@@ -244,16 +302,24 @@ def run_campaign(
     bench_path:
         File or directory to write the consolidated
         ``BENCH_campaign.json`` artifact into.
+    max_retries:
+        Re-runs (on a fresh pool) granted to jobs whose worker process
+        died.  Defaults to the :class:`CampaignSpec`'s ``max_retries``
+        when one is given, else 1.
     """
     started = time.perf_counter()
     if isinstance(work, CampaignSpec):
         specs = work.compile()
         name = name or work.name
+        if max_retries is None:
+            max_retries = work.max_retries
     elif isinstance(work, JobSpec):
         specs = [work]
     else:
         specs = list(work)
     name = name or "campaign"
+    if max_retries is None:
+        max_retries = 1
     if store is None and cache_dir is not None:
         store = ResultStore(cache_dir, code_version=code_version)
     registry = metrics if metrics is not None else MetricsRegistry(
@@ -315,6 +381,7 @@ def run_campaign(
             for index, spec, key in pending:
                 finish(index, spec, key, _execute_job_payload(spec.to_dict()))
         else:
+            broken: List[tuple] = []  # (index, spec, key, error text)
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     (index, spec, key,
@@ -324,10 +391,19 @@ def run_campaign(
                 for index, spec, key, future in futures:
                     try:
                         payload = future.result()
+                    except BrokenProcessPool as exc:
+                        # The worker process died outright (segfault,
+                        # OOM kill, os._exit).  One death poisons the
+                        # whole pool, so every not-yet-collected sibling
+                        # lands here too; all of them get retried on
+                        # fresh pools below.
+                        broken.append(
+                            (index, spec, key, f"{type(exc).__name__}: {exc}")
+                        )
+                        continue
                     except Exception as exc:
-                        # The worker process died (BrokenProcessPool) or
-                        # the payload failed to unpickle: a per-job
-                        # error, not a hung or poisoned campaign.
+                        # The payload failed to unpickle (or similar):
+                        # a per-job error, not a hung campaign.
                         payload = {
                             "ok": False,
                             "error": f"{type(exc).__name__}: {exc}",
@@ -335,6 +411,13 @@ def run_campaign(
                             "traceback": traceback_module.format_exc(),
                         }
                     finish(index, spec, key, payload)
+            for index, spec, key, first_error in broken:
+                finish(
+                    index, spec, key,
+                    _retry_broken_job(
+                        name, spec, first_error, max_retries, registry
+                    ),
+                )
 
     final: List[JobResult] = [r for r in results if r is not None]
     assert len(final) == len(specs), "executor lost a job result"

@@ -159,6 +159,11 @@ class CampaignSpec:
     #: Job kind every point compiles to: "measure" (blocking-barrier
     #: latency) or "nbc_overlap" (non-blocking overlap harness).
     kind: str = "measure"
+    #: Times a job whose worker process *died* (BrokenProcessPool) is
+    #: re-run on a fresh pool before counting as failed.  Worker death
+    #: is an infrastructure fault (OOM kill, segfault), not a property
+    #: of the job, so one retry is cheap insurance; ``0`` disables.
+    max_retries: int = 1
 
     # -- config round-trip ------------------------------------------------
     def to_dict(self) -> dict:

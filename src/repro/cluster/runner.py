@@ -68,9 +68,9 @@ def spawn_group(
     procs = []
     for rank, port in enumerate(ports):
         ctx = RankContext(cluster=cluster, port=port, rank=rank, group=group)
-        procs.append(
-            cluster.spawn(program(ctx, **kwargs), name=f"rank{rank}")
-        )
+        proc = cluster.spawn(program(ctx, **kwargs), name=f"rank{rank}")
+        port.node.programs.append(proc)
+        procs.append(proc)
     return procs
 
 

@@ -40,7 +40,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, Tuple
 
 from repro.gm.constants import BarrierReliability
-from repro.gm.events import BarrierCompletedEvent
+from repro.gm.events import BarrierCompletedEvent, PeerFailureEvent
 from repro.gm.port import NicPort
 from repro.gm.tokens import BarrierSendToken, Endpoint
 from repro.network.packet import Packet, PacketType
@@ -442,6 +442,50 @@ class NicBarrierEngine:
                 nic.sdma_inbox.put(("barrier_bcast", port_id, token))
             else:
                 token.phase = "done"
+
+    # ------------------------------------------------------------------
+    # Fail-stop abort (peer suspected mid-barrier)
+    # ------------------------------------------------------------------
+    def abort_suspects(self, suspects) -> set:
+        """Abort every in-flight barrier on this NIC: a peer was declared
+        failed, and a barrier live at that instant can no longer be
+        assumed completable -- the suspect may sit anywhere in the global
+        dependency chain, not just among this token's direct peers.
+
+        Runs synchronously at the suspicion instant (the real MCP reacts
+        within one firmware dispatch).  The port's send token and barrier
+        buffer are reclaimed and a ctx-carrying
+        :class:`~repro.gm.events.PeerFailureEvent` is posted; returns the
+        set of port ids notified so the caller can fan generic events out
+        to the remaining ports without duplicates (a duplicate event
+        would desynchronize the survivors' shrink rounds).
+        """
+        nic = self.nic
+        notified: set = set()
+        for port_id in sorted(nic.ports):
+            port = nic.ports[port_id]
+            token = port.barrier_send_token
+            if token is None or not port.is_open:
+                continue
+            port.barrier_send_token = None
+            port.return_send_token()
+            port.take_barrier_buffer()
+            ctx = token.cause_ctx or token.ctx
+            self.trace(
+                "abort", port=port_id, seq=token.barrier_seq,
+                suspects=sorted(suspects), ctx=ctx,
+            )
+            nic.post_host_event(
+                port,
+                PeerFailureEvent(
+                    port_id=port_id,
+                    suspects=frozenset(suspects),
+                    ctx=ctx,
+                    barrier_seq=token.barrier_seq,
+                ),
+            )
+            notified.add(port_id)
+        return notified
 
     # ------------------------------------------------------------------
     # Packet transmission with reliability (Section 4.4)

@@ -33,6 +33,17 @@ from repro.sim.rng import SimRng
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.builder import Cluster
 
+#: Detector parameters auto-armed on every NIC when a plan carries
+#: fail-stop crashes and the NicParams did not configure a detector
+#: explicitly.  Chosen well under the soak harness's retransmission
+#: timeouts, so survivors abort via PeerFailure long before any
+#: retransmit-limit alarm could fire.
+CRASH_HEARTBEAT_US = 50.0
+CRASH_SUSPECT_AFTER_US = 400.0
+#: Extra active-window slack past the last possible suspicion instant,
+#: so the final declaring tick always runs before detectors go quiet.
+CRASH_DETECTOR_SLACK_US = 3 * CRASH_HEARTBEAT_US
+
 
 @dataclass
 class _ActiveRule:
@@ -106,6 +117,8 @@ class FaultController:
         self.flaps_scheduled = 0
         self.stalls_scheduled = 0
         self.pauses_scheduled = 0
+        self.crashes_scheduled = 0
+        self.crashes_fired = 0
         self._install()
         self._register_metrics()
 
@@ -173,6 +186,79 @@ class FaultController:
             )
             self.pauses_scheduled += 1
 
+        # Fail-stop crashes: every NIC gets a failure detector now (so
+        # piggybacked liveness stamps accumulate from the start), but
+        # arming waits until the first crash instant and the active
+        # window closes shortly after the last possible suspicion --
+        # heartbeat ticking is only paid around the crashes themselves,
+        # not across the whole run.
+        if plan.has_crashes:
+            crash_times = [c.at_us for c in plan.crashes] + [
+                c.at_us for c in plan.nic_crashes
+            ]
+            horizon = (
+                max(crash_times)
+                + CRASH_SUSPECT_AFTER_US
+                + CRASH_DETECTOR_SLACK_US
+            )
+            self._ensure_detectors()
+            sim.schedule_at(min(crash_times), self._arm_detectors, horizon)
+        for crash in plan.crashes:
+            node = self.cluster.nodes[crash.node]
+            sim.schedule_at(crash.at_us, self._crash_node, node)
+            if crash.restart_at_us is not None:
+                sim.schedule_at(crash.restart_at_us, self._restart_node, node)
+            self.crashes_scheduled += 1
+        for crash in plan.nic_crashes:
+            nic = self.cluster.nodes[crash.node].nic
+            sim.schedule_at(crash.at_us, self._crash_nic, nic)
+            self.crashes_scheduled += 1
+
+    # -- fail-stop crash machinery ---------------------------------------
+    def _ensure_detectors(self) -> None:
+        """Give every NIC a (not yet armed) heartbeat detector.
+
+        NICs whose params configured one explicitly keep theirs; the
+        rest get the crash-plan defaults.
+        """
+        from repro.nic.detector import FailureDetector
+
+        for node in self.cluster.nodes:
+            if node.nic.detector is None:
+                node.nic.detector = FailureDetector(
+                    node.nic, CRASH_HEARTBEAT_US, CRASH_SUSPECT_AFTER_US
+                )
+
+    def _arm_detectors(self, active_until: float) -> None:
+        """Arm every live NIC's detector over the crash window (arming
+        only ever extends an explicitly-configured detector's window)."""
+        for node in self.cluster.nodes:
+            if not node.nic.crashed:
+                node.nic.detector.arm(active_until=active_until)
+
+    def _crash_node(self, node) -> None:
+        """Fail-stop: kill the host programs, the NIC, then the cables."""
+        self.crashes_fired += 1
+        for proc in list(node.programs):
+            if proc.alive:
+                proc.kill()
+        node.nic.crash()
+        network = self.cluster.network
+        network.rx_channel(node.node_id).set_down()
+        network.tx_channel(node.node_id).set_down()
+
+    def _restart_node(self, node) -> None:
+        """Optional restart: cables up, fresh firmware (no rejoin)."""
+        network = self.cluster.network
+        network.rx_channel(node.node_id).set_up()
+        network.tx_channel(node.node_id).set_up()
+        node.nic.restart()
+
+    def _crash_nic(self, nic) -> None:
+        """NicCrash: the LANai dies, the host survives and is told."""
+        self.crashes_fired += 1
+        nic.crash()
+
     @staticmethod
     def _pause_nic(nic, at_us: float, duration_us: float):
         """Claim the LANai processor for the pause window (generator).
@@ -200,6 +286,7 @@ class FaultController:
         metrics.observe("faults.flaps", lambda: self.flaps_scheduled)
         metrics.observe("faults.stalls", lambda: self.stalls_scheduled)
         metrics.observe("faults.pauses", lambda: self.pauses_scheduled)
+        metrics.observe("faults.crashes", lambda: self.crashes_scheduled)
 
     # ------------------------------------------------------------------
     @property

@@ -193,12 +193,50 @@ class NicPause:
             raise ValueError("NicPause.duration_us must be positive")
 
 
+@dataclass
+class NodeCrash:
+    """Fail-stop death of a whole node at ``at_us``: every host program
+    on the node is killed, the NIC stops executing, and both halves of
+    its cable go dark.  With ``restart_at_us`` the node comes back later
+    with fresh firmware state (peers keep it suspect -- rejoin is a
+    group-membership *grow*, out of scope; the restarted node can open
+    ports and talk to nodes that never suspected it)."""
+
+    node: int = 0
+    at_us: float = 0.0
+    #: None = the node stays dead (the common fail-stop case).
+    restart_at_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("NodeCrash.at_us must be >= 0")
+        if self.restart_at_us is not None and self.restart_at_us <= self.at_us:
+            raise ValueError("NodeCrash.restart_at_us must be after at_us")
+
+
+@dataclass
+class NicCrash:
+    """The LANai dies at ``at_us`` but the host survives: its processes
+    get a :class:`~repro.gm.events.PeerFailure` naming the *local* node
+    (they cannot reach the fabric any more), while remote peers see an
+    ordinary fail-stop silence."""
+
+    node: int = 0
+    at_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("NicCrash.at_us must be >= 0")
+
+
 _RULE_TYPES = {
     "loss": LossRule,
     "ack_loss": AckLoss,
     "flaps": LinkFlap,
     "stalls": PortStall,
     "pauses": NicPause,
+    "crashes": NodeCrash,
+    "nic_crashes": NicCrash,
 }
 
 
@@ -212,17 +250,18 @@ class FaultPlan:
     flaps: List[LinkFlap] = field(default_factory=list)
     stalls: List[PortStall] = field(default_factory=list)
     pauses: List[NicPause] = field(default_factory=list)
+    crashes: List[NodeCrash] = field(default_factory=list)
+    nic_crashes: List[NicCrash] = field(default_factory=list)
 
     @property
     def num_rules(self) -> int:
         """Total rule count across every fault kind."""
-        return (
-            len(self.loss)
-            + len(self.ack_loss)
-            + len(self.flaps)
-            + len(self.stalls)
-            + len(self.pauses)
-        )
+        return sum(len(getattr(self, key)) for key in _RULE_TYPES)
+
+    @property
+    def has_crashes(self) -> bool:
+        """Whether any fail-stop rule is present (arms the detectors)."""
+        return bool(self.crashes or self.nic_crashes)
 
     # -- config round-trip ------------------------------------------------
     @classmethod
@@ -261,6 +300,7 @@ class FaultPlan:
         num_nodes: int,
         horizon_us: float = 2000.0,
         intensity: float = 1.0,
+        include_crashes: bool = False,
     ) -> "FaultPlan":
         """A bounded random plan derived entirely from ``seed``.
 
@@ -270,6 +310,12 @@ class FaultPlan:
         ``horizon_us`` bounds when faults happen (recovery may finish
         later).  Same (seed, num_nodes, horizon, intensity) => the same
         plan, independent of any other RNG use.
+
+        ``include_crashes`` (opt-in, so pre-existing plans stay
+        byte-identical) adds one fail-stop :class:`NodeCrash` drawn from
+        its own named stream.  Crashes are *not* recoverable: workloads
+        running such a plan must be crash-aware (catch
+        :class:`~repro.gm.events.PeerFailure` and shrink).
         """
         if num_nodes < 2:
             raise ValueError("a fault plan needs at least 2 nodes")
@@ -335,6 +381,18 @@ class FaultPlan:
                 duration_us=rng.uniform("plan.stall", 20.0, 120.0) * intensity,
             )
         )
+
+        # One fail-stop node crash (opt-in; its own stream keeps every
+        # non-crash plan byte-identical to pre-crash-support output).
+        if include_crashes:
+            plan.crashes.append(
+                NodeCrash(
+                    node=rng.integers("plan.crash", 0, num_nodes),
+                    at_us=rng.uniform(
+                        "plan.crash", 0.2 * horizon_us, 0.8 * horizon_us
+                    ),
+                )
+            )
         return plan
 
     def describe(self) -> str:

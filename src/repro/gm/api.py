@@ -18,6 +18,8 @@ from repro.gm.events import (
     BarrierCompletedEvent,
     CollectiveCompletedEvent,
     GmEvent,
+    PeerFailure,
+    PeerFailureEvent,
     RecvEvent,
     SentEvent,
 )
@@ -53,6 +55,11 @@ class GmPort:
         self._barrier_pending = False
         #: Same guard for the data collectives of the Section 8 extension.
         self._collective_pending = False
+        #: Suspects whose failure the application has already handled
+        #: (via :meth:`acknowledge_failures`, normally from
+        #: ``Communicator.shrink``): their PeerFailureEvents stop raising,
+        #: so recovery code can keep using the port.
+        self._acked_failures: set = set()
 
     def _trace(self, label: str, **payload) -> None:
         """Host-side trace record (category ``host<node_id>``)."""
@@ -162,26 +169,58 @@ class GmPort:
 
         Charges the polling detection delay plus the per-event host
         processing cost (``HRecv`` for message/barrier events).
+
+        Raises :class:`~repro.gm.events.PeerFailure` when the event is a
+        :class:`~repro.gm.events.PeerFailureEvent` naming a suspect the
+        application has not acknowledged -- a blocked receive must never
+        outlive its peers.  Acknowledged failures are skipped silently.
         """
-        event = yield self.port.event_queue.get()
-        params = self.node.params
-        if isinstance(event, SentEvent):
-            cost = params.poll_delay_us + params.sent_event_cost_us
-        else:
-            cost = params.poll_delay_us + params.effective_recv_cost_us
-        yield from self.node.cpu_use(cost)
-        if isinstance(event, BarrierCompletedEvent):
-            self._barrier_pending = False
-            if event.ctx is not None:
-                self._trace(
-                    "barrier.exit", ctx=event.ctx, seq=event.barrier_seq,
-                    port=self.port_id,
-                )
-        elif isinstance(event, CollectiveCompletedEvent):
-            self._collective_pending = False
-        if isinstance(event, SendToken) and event.callback:  # pragma: no cover
-            event.callback(event)
-        return event
+        while True:
+            event = yield self.port.event_queue.get()
+            params = self.node.params
+            if isinstance(event, SentEvent):
+                cost = params.poll_delay_us + params.sent_event_cost_us
+            else:
+                cost = params.poll_delay_us + params.effective_recv_cost_us
+            yield from self.node.cpu_use(cost)
+            if isinstance(event, PeerFailureEvent):
+                if event.suspects <= self._acked_failures:
+                    continue
+                self._raise_failure(event)
+            if isinstance(event, BarrierCompletedEvent):
+                self._barrier_pending = False
+                if event.ctx is not None:
+                    self._trace(
+                        "barrier.exit", ctx=event.ctx, seq=event.barrier_seq,
+                        port=self.port_id,
+                    )
+            elif isinstance(event, CollectiveCompletedEvent):
+                self._collective_pending = False
+            if isinstance(event, SendToken) and event.callback:  # pragma: no cover
+                event.callback(event)
+            return event
+
+    def _raise_failure(self, event: PeerFailureEvent) -> None:
+        """Raise the typed failure for an unacknowledged suspect set.
+
+        The in-flight guards are cleared first: the NIC already reclaimed
+        the aborted operation's tokens, so the port can initiate again
+        once the application recovers (shrink + resume).
+        """
+        self._barrier_pending = False
+        self._collective_pending = False
+        self._trace(
+            "peer.failure", suspects=sorted(event.suspects),
+            port=self.port_id, ctx=event.ctx,
+        )
+        raise PeerFailure(self.node.node_id, event.suspects, ctx=event.ctx)
+
+    def acknowledge_failures(self, suspects) -> None:
+        """Mark ``suspects`` as handled: their pending or future
+        :class:`PeerFailureEvent`\\ s stop raising on this port (the
+        recovery path -- ``Communicator.shrink`` -- calls this before
+        talking to the survivors)."""
+        self._acked_failures |= set(suspects)
 
     def receive_where(self, predicate: Callable[[GmEvent], bool]):
         """Receive events until one satisfies ``predicate``; other message
@@ -200,9 +239,18 @@ class GmPort:
 
     def try_receive(self):
         """Non-blocking poll (for fuzzy barriers): one polling-delay charge,
-        then the next pending event or None."""
+        then the next pending event or None.  Raises
+        :class:`~repro.gm.events.PeerFailure` like :meth:`receive` when
+        the pending event is an unacknowledged failure."""
         yield from self.node.cpu_use(self.node.params.poll_delay_us)
         event = self.port.event_queue.try_get()
+        while isinstance(event, PeerFailureEvent):
+            if not event.suspects <= self._acked_failures:
+                yield from self.node.cpu_use(
+                    self.node.params.effective_recv_cost_us
+                )
+                self._raise_failure(event)
+            event = self.port.event_queue.try_get()
         if event is None:
             return None
         params = self.node.params

@@ -10,9 +10,33 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, FrozenSet, Optional
 
 _event_ids = itertools.count(1)
+
+
+class PeerFailure(RuntimeError):
+    """A peer node was declared failed (fail-stop) while this process had
+    work in flight with it.
+
+    Raised by the host-side receive path when the NIC posts a
+    :class:`PeerFailureEvent`: the barrier/collective/receive the caller
+    was blocked on cannot complete on the current group.  ULFM-style
+    recovery is ``Communicator.shrink()``, which agrees on the survivor
+    set and resumes on the shrunken communicator.
+    """
+
+    def __init__(self, node_id: int, suspects, ctx: Any = None) -> None:
+        self.node_id = node_id
+        self.suspects: FrozenSet[int] = frozenset(suspects)
+        self.ctx = ctx
+        #: Flight-recorder snapshot, attached by whoever catches the
+        #: failure closest to a live tracer (Cluster.run backstops it).
+        self.flight_records: Optional[list] = None
+        super().__init__(
+            f"node {node_id}: peer(s) {sorted(self.suspects)} suspected "
+            "failed (fail-stop); in-flight operations aborted"
+        )
 
 
 @dataclass
@@ -58,6 +82,21 @@ class BarrierCompletedEvent(GmEvent):
     #: Causal trace context of the completion (the chain that finished
     #: the barrier); lets the host's receive record extend the span tree.
     ctx: Optional[Any] = None
+
+
+@dataclass
+class PeerFailureEvent(GmEvent):
+    """The NIC's failure detector suspected a peer node while this port
+    was open: every in-flight barrier/collective involving the suspect
+    was aborted on the NIC side, and the host-side receive path raises
+    :class:`PeerFailure` when it consumes this event."""
+
+    #: Node ids declared failed (monotone: a suspect never recovers).
+    suspects: FrozenSet[int] = frozenset()
+    #: Trace context of the aborted operation (when one was in flight).
+    ctx: Optional[Any] = None
+    #: Barrier sequence number of the aborted barrier, if any.
+    barrier_seq: Optional[int] = None
 
 
 @dataclass

@@ -33,6 +33,9 @@ class Node:
             sim, capacity=self.params.num_cpus, name=f"node{node_id}.cpu"
         )
         self.memory = PinnedMemoryRegistry(node_id, max_pinned_bytes)
+        #: Host processes running on this node (registered by the cluster
+        #: runner) so a fail-stop NodeCrash can kill them with the NIC.
+        self.programs: list = []
         # Imported lazily to avoid a cycle (driver needs Node for typing).
         from repro.gm.driver import GmDriver
 

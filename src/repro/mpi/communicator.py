@@ -18,7 +18,7 @@ from repro.core.collectives import reduce as nic_reduce
 from repro.core.host_barrier import host_barrier
 from repro.core.host_collectives import host_allreduce, host_bcast, host_reduce
 from repro.gm.api import GmPort
-from repro.gm.events import RecvEvent
+from repro.gm.events import PeerFailure, RecvEvent
 from repro.mpi.nbc.engine import ProgressEngine
 
 Endpoint = Tuple[int, int]
@@ -29,6 +29,10 @@ ANY_TAG = -1
 
 #: Default tag for untagged operations.
 DEFAULT_TAG = 0
+
+#: Reserved tag of the shrink agreement protocol (gather uses 17,
+#: scatter 18).
+SHRINK_TAG = 19
 
 
 @dataclass(frozen=True)
@@ -79,6 +83,11 @@ class Communicator:
         self._pool_primed = False
         #: Lazily-built non-blocking progress engine (with its cache).
         self._nbc: Optional["ProgressEngine"] = None
+        #: Persistent round counter of the shrink agreement protocol.
+        #: It never resets, so repeated (even interleaved) shrink calls
+        #: keep every rank's rounds aligned and stale round messages
+        #: remain skippable by their round number.
+        self._shrink_round = 0
 
     # ------------------------------------------------------------------
     @property
@@ -124,6 +133,11 @@ class Communicator:
         yield from self._charge_call()
         yield from self._prime_pool()
         src_ep = None if source == ANY_SOURCE else self._endpoint(source)
+        if src_ep is not None and src_ep[0] in self.port.nic.suspected_peers:
+            # A receive from a declared-failed node can never complete;
+            # raising here (even for acknowledged suspects) keeps the
+            # never-hang contract for naive retry loops.
+            raise PeerFailure(self.port.node.node_id, {src_ep[0]})
 
         def matches(ev) -> bool:
             if not (isinstance(ev, RecvEvent) and isinstance(ev.payload, dict)):
@@ -348,7 +362,107 @@ class Communicator:
         self.group = tuple(group)
         self.rank = rank
         if self._nbc is not None:
-            self._nbc.cache.invalidate()
+            self._nbc.on_reconfigure()
+
+    # ------------------------------------------------------------------
+    # Fail-stop recovery (ULFM-style shrink)
+    # ------------------------------------------------------------------
+    def _known_suspects(self, group_nodes: set) -> set:
+        """Group-member node ids this rank's NIC has declared failed."""
+        nic = self.port.nic
+        suspects = set(nic.suspected_peers)
+        if nic.detector is not None:
+            suspects |= nic.detector.suspects
+        return suspects & group_nodes
+
+    def shrink(self):
+        """ULFM-style recovery: agree on the survivor set and resume on
+        the shrunken group (host generator; returns the new group).
+
+        Survivors gossip suspect sets all-to-all in rounds over a
+        reserved tag: each round sends this rank's current set to every
+        presumed-live peer, then collects theirs, taking the union.  A
+        :class:`~repro.gm.events.PeerFailure` raised mid-round (a peer
+        died, or was found dead, during the exchange) merges the new
+        suspects and forces another round.  The protocol terminates when
+        every received set equals the sent one -- suspect sets are
+        monotone and bounded by the group, and all-to-all exchange makes
+        agreement symmetric: either every rank sees identical sets and
+        stops, or none does.  Afterwards survivors re-rank in old-group
+        order and :meth:`reconfigure` bumps the NBC epoch, fencing off
+        any in-flight messages from the dead (or the old shape).
+
+        Caveat (shared with real ULFM shrinks): a node that dies *after*
+        sending its final-round agreement message may leave survivors
+        with a group that still contains it; the next operation then
+        raises :class:`PeerFailure` again and a second ``shrink()``
+        converges.  Outstanding non-blocking requests are aborted
+        (``request.aborted``) -- their schedules reference dead ranks.
+        """
+        yield from self._charge_call()
+        port = self.port
+        if port.nic.crashed:
+            raise RuntimeError(
+                "cannot shrink through a crashed NIC (the host survived a "
+                "NicCrash, but this node has no fabric access left)"
+            )
+        if self._nbc is not None and self._nbc.outstanding:
+            self._nbc.abort_outstanding()
+        group_nodes = {ep[0] for ep in self.group}
+        own_node = self.group[self.rank][0]
+        suspects = self._known_suspects(group_nodes)
+        suspects.discard(own_node)
+        port.acknowledge_failures(suspects)
+        yield from self._prime_pool()
+        while True:
+            self._shrink_round += 1
+            rnd = self._shrink_round
+            peers = [
+                r for r in range(self.size)
+                if r != self.rank and self.group[r][0] not in suspects
+            ]
+            payload = {"round": rnd, "suspects": sorted(suspects)}
+            for r in peers:
+                yield from self.send(r, dict(payload), SHRINK_TAG,
+                                     size_bytes=32)
+            agreed = True
+            for r in peers:
+                if self.group[r][0] in suspects:
+                    continue  # learned of this peer's death mid-round
+                try:
+                    while True:
+                        msg, _, _ = yield from self.recv(r, SHRINK_TAG)
+                        if msg["round"] >= rnd:
+                            break
+                        # else: a stale round's message (we advanced past
+                        # it on a PeerFailure); per-pair FIFO lets us skip.
+                except PeerFailure as failure:
+                    port.acknowledge_failures(failure.suspects)
+                    fresh = set(failure.suspects) & group_nodes
+                    fresh.discard(own_node)
+                    suspects |= fresh
+                    agreed = False
+                    continue
+                their = set(msg["suspects"]) & group_nodes
+                their.discard(own_node)
+                if their != suspects:
+                    suspects |= their
+                    agreed = False
+            if agreed:
+                break
+        survivors = tuple(
+            ep for ep in self.group if ep[0] not in suspects
+        )
+        new_rank = survivors.index(self.group[self.rank])
+        self.reconfigure(survivors, new_rank)
+        tracer = port.nic.tracer
+        if tracer is not None:
+            tracer.record(
+                f"host{port.node.node_id}", "comm.shrink",
+                round=self._shrink_round, rank=new_rank,
+                size=len(survivors), suspects=sorted(suspects),
+            )
+        return survivors
 
     # ------------------------------------------------------------------
     def _rooted(self, root: int):

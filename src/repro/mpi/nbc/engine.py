@@ -71,7 +71,7 @@ class Request:
 
     __slots__ = (
         "engine", "seq", "kind", "done", "result", "started_at",
-        "completed_at",
+        "completed_at", "aborted",
     )
 
     def __init__(self, engine: "ProgressEngine", seq: int, kind: str) -> None:
@@ -82,6 +82,9 @@ class Request:
         self.result: Any = None
         self.started_at = engine.sim.now
         self.completed_at: Optional[float] = None
+        #: Set when a peer failure aborted the schedule: ``done`` is True
+        #: but ``result`` is meaningless (the collective never completed).
+        self.aborted = False
 
     def test(self):
         """Non-blocking completion poll (host generator -> bool).
@@ -393,6 +396,38 @@ class ProgressEngine:
         if not self._outstanding:
             self._disarm_watchdog()
 
+    def abort_outstanding(self) -> None:
+        """Abort every outstanding request: a peer failed, so schedules
+        compiled against the old group can never complete.  Each request
+        finishes with ``aborted=True`` and a ``None`` result; early
+        arrivals are dropped, and the epoch bump of the communicator's
+        subsequent :meth:`~repro.mpi.communicator.Communicator.reconfigure`
+        poisons any straggler messages still in flight."""
+        for seq in sorted(self._outstanding):
+            state = self._outstanding.pop(seq)
+            request = state.request
+            request.done = True
+            request.aborted = True
+            request.result = None
+            request.completed_at = self.sim.now
+            self.metrics.counter("nbc.aborted").inc()
+            self.port._trace(
+                "nbc.abort", ctx=state.ctx, seq=seq, round=state.round_idx,
+            )
+        self._early.clear()
+        self._disarm_watchdog()
+
+    def on_reconfigure(self) -> None:
+        """The communicator reshaped: drop compiled schedules (the epoch
+        bump poisons in-flight messages from the old shape) and restart
+        the sequence space.  Ranks abort at *different* seqs when a peer
+        dies mid-collective; the reconfiguration is collective, so it is
+        the resynchronization point that restores the started-in-the-
+        same-order contract inside the new epoch."""
+        self.cache.invalidate()
+        self._early.clear()
+        self._next_seq = 0
+
     # ------------------------------------------------------------------
     # liveness: MCP host-event hook + timer-wheel watchdog
     # ------------------------------------------------------------------
@@ -421,6 +456,12 @@ class ProgressEngine:
         flight recorder, so a wedged schedule is visible post-mortem."""
         self._watchdog = None
         if not self._outstanding:
+            return
+        if self.port.nic.crashed or not self.port.is_open:
+            # Fail-stop: the NIC under this engine died (NodeCrash killed
+            # the host processes with it, or a NicCrash cut off the
+            # fabric).  Nothing can progress, and re-arming would keep a
+            # dead node's timer ticking forever.
             return
         if self._events_landed == self._events_seen_at_check:
             self.metrics.counter("nbc.watchdog.stalls").inc()

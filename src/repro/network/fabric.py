@@ -200,6 +200,10 @@ class Network:
         """Number of switch hops between two NICs."""
         return len(self.route_for(src_nic, dst_nic))
 
+    def nic_ids(self) -> List[int]:
+        """All attached NIC ids, sorted (the failure detector's peer set)."""
+        return sorted(self._nic_tx)
+
     # -- test / experiment hooks ----------------------------------------
     def tx_channel(self, nic_id: int) -> Channel:
         """The NIC's transmit channel (for counters in tests)."""

@@ -52,6 +52,10 @@ class PacketType(enum.Enum):
     GET_REQ = "get_req"
     #: One-sided get reply carrying the requested data.
     GET_REPLY = "get_reply"
+    #: Failure-detector liveness probe: sent by an armed heartbeat
+    #: detector to peers it has not talked to recently.  Fire-and-forget
+    #: (no reliability stream, no ACK) -- its *absence* is the signal.
+    HEARTBEAT = "heartbeat"
 
     @property
     def is_barrier(self) -> bool:

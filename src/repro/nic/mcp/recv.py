@@ -41,6 +41,17 @@ class RecvMachine(StateMachine):
         while True:
             packet = yield nic.recv_queue.get()
             ptype = packet.ptype
+            if packet.src_node in nic.suspected_peers:
+                # Epoch fence: a suspect never recovers (fail-stop), so
+                # anything it sent before dying -- or anything delayed in
+                # the fabric -- is dropped before touching protocol state.
+                yield from self.cpu("recv_control")
+                continue
+            if ptype is PacketType.HEARTBEAT:
+                # Liveness was recorded at wire delivery (detector.saw);
+                # the payload carries nothing else.
+                yield from self.cpu("recv_control")
+                continue
             if ptype is PacketType.ACK:
                 yield from self._handle_ack(packet)
             elif ptype is PacketType.NACK:

@@ -67,10 +67,40 @@ class SdmaMachine(StateMachine):
                 raise RuntimeError(f"SDMA: unknown work item {item!r}")
 
     # ------------------------------------------------------------------
+    def _fake_ack(self, token, dst_node: int, dst_port: int) -> None:
+        """Complete a send toward a declared-dead peer host-side.
+
+        The token returns and the usual ``SentEvent`` posts, exactly as a
+        cumulative ACK would have delivered them (the data dies with the
+        peer).  Without this a send issued *after* suspicion would wait
+        forever: the retransmit path is fenced for suspects, so no ACK
+        and no alarm would ever release the blocked host process.
+        """
+        from repro.gm.events import SentEvent
+
+        nic = self.nic
+        port = nic.ports.get(token.src_port)
+        if port is not None and port.is_open:
+            port.return_send_token()
+            nic.post_host_event(
+                port,
+                SentEvent(
+                    port_id=port.port_id,
+                    token_id=token.token_id,
+                    dst_node=dst_node,
+                    dst_port=dst_port,
+                ),
+            )
+        self.trace("suspect_fake_ack", key=token.token_id, dst=dst_node,
+                   ctx=token.ctx)
+
     def _process_send_token(self, port_id: int, token: SendToken):
         """Ordinary reliable send: DMA payload in, prepare, hand to SEND."""
         nic = self.nic
         yield from self.cpu("token_process")
+        if token.dst_node in nic.suspected_peers:
+            self._fake_ack(token, token.dst_node, token.dst_port)
+            return
         conn = nic.connection(token.dst_node)
         token.seqno = conn.assign_seqno()
 
@@ -109,13 +139,20 @@ class SdmaMachine(StateMachine):
         one host DMA, one packet prepared and queued per destination."""
         nic = self.nic
         yield from self.cpu("token_process")
+        live = [
+            dest for dest in token.destinations
+            if dest[0] not in nic.suspected_peers
+        ]
+        if not live:
+            self._fake_ack(token, *token.destinations[-1])
+            return
         # Stage the payload once.
         yield nic.tx_buffers.acquire()
         yield from self.cpu("dma_setup")
         yield from nic.sdma_engine.transfer(token.size_bytes, ctx=token.ctx)
-        token.remaining_acks = len(token.destinations)
-        last_index = len(token.destinations) - 1
-        for i, (dst_node, dst_port) in enumerate(token.destinations):
+        token.remaining_acks = len(live)
+        last_index = len(live) - 1
+        for i, (dst_node, dst_port) in enumerate(live):
             yield from self.cpu("packet_prep")
             conn = nic.connection(dst_node)
             seqno = conn.assign_seqno()

@@ -12,7 +12,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.gm.constants import MAX_PORTS, BarrierReliability
-from repro.gm.events import GmEvent
+from repro.gm.events import GmEvent, PeerFailureEvent, SentEvent
 from repro.gm.port import NicPort
 from repro.gm.tokens import BarrierSendToken, SendToken
 from repro.network.fabric import Network
@@ -51,9 +51,15 @@ class RetransmitLimitExceeded(RuntimeError):
         )
         self.node_id = node_id
         self.remote_node = remote_node
+        #: Alias for :attr:`remote_node`: the peer this stream gave up on,
+        #: so crash hangs are attributable straight off the exception.
+        self.peer = remote_node
         self.stream = stream
         self.seqno = seqno
         self.retransmits = retransmits
+        #: Flight-recorder ring at the moment of the alarm.  Always a
+        #: list (empty without a tracer), never None.
+        self.flight_records: list = []
 
 
 @dataclass(frozen=True)
@@ -85,6 +91,15 @@ class NicParams:
     #: Section 3.4 optimization: barrier "messages" between two ports of
     #: the *same* NIC skip the wire and just set the local flag.
     local_barrier_optimization: bool = False
+    #: Failure-detector heartbeat period.  None (the default) builds the
+    #: NIC *without* a detector, keeping clean runs bit-identical to
+    #: pre-detector traces.  Setting it arms the detector for the whole
+    #: run (bound such runs with ``until=``/``max_events=``); fault plans
+    #: with crashes arm it automatically over a bounded window instead.
+    heartbeat_us: Optional[float] = None
+    #: Silence window after which a peer is declared failed (fail-stop).
+    #: Defaults to ``8 * heartbeat_us`` when only the heartbeat is set.
+    suspect_after: Optional[float] = None
 
     def with_(self, **changes) -> "NicParams":
         """A copy with the given fields replaced."""
@@ -168,6 +183,26 @@ class Nic:
         self.send_machine = SendMachine(self)
         self.recv_machine = RecvMachine(self)
         self.rdma_machine = RdmaMachine(self)
+
+        # -- fail-stop state ---------------------------------------------------
+        #: Set by :meth:`crash`: a crashed NIC neither receives nor injects.
+        self.crashed = False
+        #: Peers declared failed by the detector (monotone suspect set;
+        #: the RECV machine's epoch fence drops their late packets).
+        self.suspected_peers: set = set()
+        #: Heartbeat failure detector; None unless ``heartbeat_us`` is
+        #: configured or a crash-bearing fault plan arms one.
+        self.detector = None
+        if self.params.heartbeat_us is not None:
+            from repro.nic.detector import FailureDetector
+
+            suspect_after = self.params.suspect_after
+            if suspect_after is None:
+                suspect_after = 8.0 * self.params.heartbeat_us
+            self.detector = FailureDetector(
+                self, self.params.heartbeat_us, suspect_after
+            )
+            self.detector.arm()
 
         self._register_metrics()
         self._register_telemetry()
@@ -270,6 +305,9 @@ class Nic:
             f"{prefix}.retransmit_alarms", lambda: len(self.alarms)
         )
         metrics.observe(
+            f"{prefix}.peers_suspected", lambda: len(self.suspected_peers)
+        )
+        metrics.observe(
             f"{prefix}.gbn_window_hw",
             lambda: max(
                 (c.sent_list_high_water for c in self._connections.values()),
@@ -292,10 +330,18 @@ class Nic:
     # ------------------------------------------------------------------
     def receive_packet(self, packet: Packet) -> None:
         """Wire delivery point (the fabric calls this)."""
+        if self.crashed:
+            return
+        if self.detector is not None:
+            self.detector.saw(packet.src_node)
         self.recv_queue.put(packet)
 
     def inject(self, packet: Packet) -> None:
         """Hand a prepared packet to the transmit channel."""
+        if self.crashed:
+            return
+        if self.detector is not None:
+            self.detector.sent(packet.dst_node)
         packet.injected_at = self.sim.now
         self.tx_channel.send(packet)
 
@@ -483,6 +529,8 @@ class Nic:
 
     def _on_retransmit_timeout(self, conn: Connection) -> None:
         conn.retransmit_timer = None
+        if self.crashed or conn.remote_node in self.suspected_peers:
+            return
         if not conn.sent_list:
             return
         limit = self.params.max_retransmits
@@ -523,6 +571,8 @@ class Nic:
 
     def _on_barrier_retransmit_timeout(self, conn: Connection) -> None:
         conn.barrier_retransmit_timer = None
+        if self.crashed or conn.remote_node in self.suspected_peers:
+            return
         if not conn.barrier_unacked:
             return
         limit = self.params.max_retransmits
@@ -535,12 +585,158 @@ class Nic:
         self.manage_barrier_retransmit_timer(conn)
 
     # ------------------------------------------------------------------
+    # Fail-stop failure handling
+    # ------------------------------------------------------------------
+    def on_peer_suspected(self, peer: int) -> None:
+        """The failure detector declared ``peer`` failed (fail-stop).
+
+        Runs atomically at the detection instant (no CPU charges -- the
+        LANai acts on suspicion within one firmware dispatch): both
+        reliability streams toward the suspect are abandoned with their
+        send tokens fake-acked back to the host, every in-flight barrier
+        involving the suspect is aborted, and every open port receives
+        exactly one :class:`~repro.gm.events.PeerFailureEvent` (the
+        barrier abort path posts ctx-carrying events; this fans generic
+        ones out to the remaining ports so blocked receives wake up).
+        """
+        if self.crashed or peer in self.suspected_peers:
+            return
+        self.suspected_peers.add(peer)
+        if self.tracer is not None:
+            self.tracer.record(
+                f"nic{self.node_id}", "peer.failed", peer=peer
+            )
+        conn = self._connections.get(peer)
+        if conn is not None:
+            self._abandon_connection(conn)
+        suspects = frozenset({peer})
+        notified = self.barrier_engine.abort_suspects(suspects)
+        for port in self.ports.values():
+            if not port.is_open:
+                continue
+            if port.coll_send_token is not None:
+                # The collective engine guards every queued work item
+                # with a token-liveness check, so clearing the pointer
+                # inerts it; the send token must come home regardless.
+                port.coll_send_token = None
+                port.return_send_token()
+            if port.port_id not in notified:
+                self.post_host_event(
+                    port,
+                    PeerFailureEvent(port_id=port.port_id, suspects=suspects),
+                )
+
+    def _abandon_connection(self, conn: Connection) -> None:
+        """Tear down the reliability streams toward a dead peer.
+
+        Pending sends are *fake-acked*: their tokens return to the host
+        with the usual :class:`SentEvent`, exactly as a cumulative ACK
+        would have returned them.  The data is lost with the peer, but no
+        port leaks a send token -- the shrink protocol immediately needs
+        the full send budget.
+        """
+        for timer_name in (
+            "retransmit_timer", "ack_timer", "barrier_retransmit_timer"
+        ):
+            timer = getattr(conn, timer_name)
+            if timer is not None:
+                timer.cancel()
+                setattr(conn, timer_name, None)
+        entries, conn.sent_list = conn.sent_list, []
+        conn.barrier_unacked = []
+        conn.nack_outstanding = False
+        for entry in entries:
+            token = entry.token
+            if token is None:
+                continue
+            if getattr(token, "is_multicast", False):
+                token.remaining_acks -= 1
+                if token.remaining_acks > 0:
+                    continue
+                dst_node, dst_port = token.destinations[-1]
+            else:
+                dst_node, dst_port = token.dst_node, token.dst_port
+            port = self.ports.get(token.src_port)
+            if port is not None and port.is_open:
+                port.return_send_token()
+                self.post_host_event(
+                    port,
+                    SentEvent(
+                        port_id=port.port_id,
+                        token_id=token.token_id,
+                        dst_node=dst_node,
+                        dst_port=dst_port,
+                    ),
+                )
+
+    def crash(self) -> None:
+        """Fail-stop death of this NIC (the LANai stops executing).
+
+        Open ports first learn their own node is down -- a ``NicCrash``
+        keeps the host alive, and its blocked processes must wake with a
+        :class:`PeerFailure` naming the local node -- then every machine
+        stops and all pending protocol timers die with the firmware.
+        """
+        if self.crashed:
+            return
+        for port in self.ports.values():
+            if port.is_open:
+                self.post_host_event(
+                    port,
+                    PeerFailureEvent(
+                        port_id=port.port_id,
+                        suspects=frozenset({self.node_id}),
+                    ),
+                )
+        self.crashed = True
+        if self.tracer is not None:
+            self.tracer.record(f"nic{self.node_id}", "nic.crash")
+        if self.detector is not None:
+            self.detector.stop()
+        for machine in (
+            self.sdma_machine,
+            self.send_machine,
+            self.recv_machine,
+            self.rdma_machine,
+        ):
+            machine.stop()
+        for conn in self._connections.values():
+            for timer_name in (
+                "retransmit_timer", "ack_timer", "barrier_retransmit_timer"
+            ):
+                timer = getattr(conn, timer_name)
+                if timer is not None:
+                    timer.cancel()
+                    setattr(conn, timer_name, None)
+
+    def restart(self) -> None:
+        """Bring a crashed NIC back with fresh firmware state.
+
+        The four MCP machines restart from scratch; connection state is
+        *not* recovered and peers keep this node suspect -- rejoin (a
+        group-membership grow) is out of scope, so a restarted node can
+        open ports and talk to nodes that never suspected it, but not
+        rejoin a shrunken communicator.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.sdma_machine = SdmaMachine(self)
+        self.send_machine = SendMachine(self)
+        self.recv_machine = RecvMachine(self)
+        self.rdma_machine = RdmaMachine(self)
+        if self.tracer is not None:
+            self.tracer.record(f"nic{self.node_id}", "nic.restart")
+
+    # ------------------------------------------------------------------
     def cpu_time(self, operation: str):
         """Charge ``operation`` against the NIC processor (generator)."""
         yield from self.cpu_resource.use(self.model.time(operation))
 
     def shutdown(self) -> None:
         """Stop the state-machine processes (end-of-test cleanup)."""
+        if self.detector is not None:
+            self.detector.stop()
         for machine in (
             self.sdma_machine,
             self.send_machine,

@@ -1,0 +1,63 @@
+"""Crash-soak regression tests: every barrier algorithm survives a
+fail-stop node crash at every phase -- survivors terminate, agree on the
+shrunken group, and reproduce bit-identically from the seed."""
+
+from repro.faults.crash_soak import (
+    CRASH_ALGORITHMS,
+    CrashSoakRow,
+    run_crash_combo,
+    run_crash_soak,
+)
+
+
+class TestCrashSoakMatrix:
+    def test_full_matrix_terminates_and_agrees(self):
+        """Safety is asserted per combination inside the soak (survivors
+        finish, hold one group, only ever exclude the victim); this
+        checks the phase semantics across the whole matrix."""
+        result = run_crash_soak(7, sizes=(4, 8))
+        assert len(result.rows) == len(CRASH_ALGORITHMS) * 3 * 2
+        for row in result.rows:
+            if row.phase in ("pre", "mid"):
+                # The crash lands before/inside the barrier phase: the
+                # group must have shrunk to everyone-but-the-victim.
+                assert row.shrunken_size == row.num_nodes - 1
+                assert row.suspects_declared >= row.num_nodes - 1
+            else:
+                # "post" lands after the drain: the run stays clean and
+                # the shrink degenerates to full-group agreement.
+                assert not row.observed_failure
+                assert row.shrunken_size == row.num_nodes
+
+    def test_sixteen_nodes_included_for_dissemination(self):
+        row = run_crash_combo(
+            seed=42, label="nic-dissemination", algorithm="dissemination",
+            phase="mid", crash_at_us=90.0, num_nodes=16,
+        )
+        assert row.observed_failure
+        assert row.shrunken_size == 15
+
+
+class TestCrashSoakDeterminism:
+    def test_same_seed_same_signature(self):
+        a = run_crash_soak(7, sizes=(4,))
+        b = run_crash_soak(7, sizes=(4,))
+        assert a.signature() == b.signature()
+
+    def test_different_seeds_differ(self):
+        a = run_crash_soak(7, sizes=(4,))
+        b = run_crash_soak(8, sizes=(4,))
+        assert a.signature() != b.signature()
+
+    def test_row_round_trips(self):
+        row = run_crash_combo(
+            seed=5, label="host-pe", algorithm="pe",
+            phase="mid", crash_at_us=90.0, num_nodes=4,
+        )
+        assert CrashSoakRow.from_dict(row.to_dict()) == row
+
+    def test_table_renders_every_row(self):
+        result = run_crash_soak(3, sizes=(4,), algorithms=(("host-pe", "pe"),))
+        table = result.table()
+        assert table.count("host-pe") == 3  # one line per phase
+        assert "t_final_us" in table
